@@ -1,0 +1,141 @@
+//! Ablations of the dSSD design points called out in DESIGN.md:
+//! dBUF sizing, dedicated-bus width vs fNoC bisection, sensitivity to the
+//! GC page-management calibration constant, and the online
+//! dynamic-superblock lifetime.
+
+use dssd_bench::report::{banner, pct, Table};
+use dssd_bench::{perf_config, run_synthetic};
+use dssd_kernel::{SimSpan, SimTime};
+use dssd_noc::TopologyKind;
+use dssd_ssd::{Architecture, DynamicSbConfig, SsdConfig, SsdSim};
+use dssd_workload::{AccessPattern, SyntheticWorkload};
+
+fn gc_of(cfg: SsdConfig) -> (f64, f64) {
+    let s = run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 0.0, SimSpan::from_ms(20));
+    (s.io_gbps, s.gc_gbps)
+}
+
+fn main() {
+    banner("Ablation 1: dBUF capacity (dSSD_f, pages per controller)");
+    let mut t = Table::new(["dBUF pages", "io GB/s", "gc GB/s"]);
+    for pages in [4usize, 8, 16, 32, 64] {
+        let mut cfg = perf_config(Architecture::DssdFnoc);
+        cfg.gc_continuous = true;
+        cfg.dbuf_pages = pages;
+        let (io, gc) = gc_of(cfg);
+        t.row([pages.to_string(), format!("{io:.2}"), format!("{gc:.2}")]);
+    }
+    t.print();
+    println!();
+    println!("the paper's 16-page dBUF (2 x 32 KB) sits at the knee: smaller");
+    println!("buffers stall copyback reads, larger ones buy little.");
+
+    banner("Ablation 2: dedicated-bus width (dSSD_b) vs fNoC bisection (dSSD_f)");
+    let mut t = Table::new(["budget GB/s", "dSSD_b gc", "dSSD_f gc"]);
+    for budget in [1.0f64, 2.0, 4.0] {
+        let factor = 1.0 + budget / 8.0;
+        let mut b = perf_config(Architecture::DssdBus).with_onchip_factor(factor);
+        b.gc_continuous = true;
+        let mut f = perf_config(Architecture::DssdFnoc).with_onchip_factor(factor);
+        f.gc_continuous = true;
+        let (_, gc_b) = gc_of(b);
+        let (_, gc_f) = gc_of(f);
+        t.row([
+            format!("{budget:.0}"),
+            format!("{gc_b:.2}"),
+            format!("{gc_f:.2}"),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("at equal budget the mesh's parallel channels and the single bus");
+    println!("track each other closely at this scale; the fNoC's advantage is");
+    println!("structural (no serialization point) as channel counts grow (Fig 12a).");
+
+    banner("Ablation 3: GC page-management overhead (the calibration constant)");
+    let mut t = Table::new(["overhead ns/page", "Baseline io", "Baseline gc", "dSSD_f io gain"]);
+    for ns in [0u64, 300, 700, 1500] {
+        let mut b = perf_config(Architecture::Baseline);
+        b.gc_continuous = true;
+        b.gc_page_overhead = SimSpan::from_ns(ns);
+        let mut f = perf_config(Architecture::DssdFnoc);
+        f.gc_continuous = true;
+        f.gc_page_overhead = SimSpan::from_ns(ns);
+        let (bio, bgc) = gc_of(b);
+        let (fio, _) = gc_of(f);
+        t.row([
+            ns.to_string(),
+            format!("{bio:.2}"),
+            format!("{bgc:.2}"),
+            pct(fio / bio),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("the decoupled advantage exists at every setting (it removes bus");
+    println!("*capacity* contention too); the constant scales its magnitude.");
+
+    banner("Ablation 5 (paper future work): fNoC topology at 16 controllers");
+    // Sec 6.3: "as the number of flash controllers increases ... it
+    // remains to be seen what the optimal topology for the fNoC will be."
+    // Equal per-link bandwidth (equal wiring cost per channel).
+    let mut t = Table::new(["topology", "links/node", "gc GB/s (16 ch)"]);
+    for (label, kind, ports) in [
+        ("1D mesh", TopologyKind::Mesh1D, "2"),
+        ("ring", TopologyKind::Ring, "2"),
+        ("2D mesh 4x4", TopologyKind::Mesh2D { cols: 4 }, "4"),
+        ("crossbar", TopologyKind::Crossbar, "1"),
+    ] {
+        let mut cfg = perf_config(Architecture::DssdFnoc);
+        cfg.geometry.channels = 16;
+        cfg.geometry.ways = 4; // keep the die count constant
+        cfg.noc.terminals = 16;
+        cfg.noc.topology = kind;
+        cfg.noc = cfg.noc.with_link_bandwidth(1_000_000_000);
+        cfg.gc_continuous = true;
+        let s = run_synthetic(
+            cfg,
+            AccessPattern::Random,
+            8,
+            0.0,
+            1.0,
+            SimSpan::from_ms(20),
+        );
+        t.row([label.to_string(), ports.to_string(), format!("{:.2}", s.gc_gbps)]);
+    }
+    t.print();
+    println!();
+    println!("at 16 controllers and equal per-link bandwidth, the 2-D mesh's");
+    println!("extra bisection pays off over the paper's 1-D floorplan mesh.");
+
+    banner("Ablation 4: online dynamic superblocks under accelerated wear");
+    let mut t = Table::new(["config", "bad superblocks", "remaps", "EOL", "host data"]);
+    for arch in [Architecture::Baseline, Architecture::DssdFnoc] {
+        let mut cfg = perf_config(arch);
+        cfg.gc_continuous = true;
+        cfg.dynamic_sb = Some(DynamicSbConfig {
+            pe_mean: 5.0,
+            pe_sigma: 2.5,
+            wear_acceleration: 5,
+            ..DynamicSbConfig::default()
+        });
+        let mut sim = SsdSim::new(cfg);
+        sim.prefill();
+        let wl = SyntheticWorkload::writes(AccessPattern::Random, 8);
+        let r = sim.run_closed_loop(wl, SimSpan::from_ms(250));
+        t.row([
+            arch.label().to_string(),
+            r.bad_superblocks.to_string(),
+            r.dynamic_remaps.to_string(),
+            r.end_of_life
+                .map(|tm: SimTime| format!("{:.0} ms", tm.as_ms_f64()))
+                .unwrap_or_else(|| "survived".into()),
+            format!("{:.0} MB", r.io_bw.total_bytes() as f64 / 1e6),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("the same wear distribution: the decoupled controller recycles worn");
+    println!("sub-blocks in place of retiring whole superblocks, writing more");
+    println!("host data before end of life (the paper's ~23% lifetime claim).");
+}

@@ -1,0 +1,57 @@
+//! Fig 7: (a) normalized I/O and GC performance for the five Table 2
+//! architectures under saturating writes with continuous GC; (b) system
+//! bus utilization for I/O during GC, DRAM-hit vs flash-write.
+
+use dssd_bench::report::{banner, pct, Table};
+use dssd_bench::{perf_config, run_synthetic, PerfSummary};
+use dssd_kernel::SimSpan;
+use dssd_ssd::Architecture;
+use dssd_workload::AccessPattern;
+
+fn measure(arch: Architecture, dram_hit: f64) -> PerfSummary {
+    let mut cfg = perf_config(arch);
+    cfg.gc_continuous = true;
+    run_synthetic(cfg, AccessPattern::Random, 8, 0.0, dram_hit, SimSpan::from_ms(30))
+}
+
+fn main() {
+    banner("Fig 7(a): normalized I/O and GC performance (high-BW writes, GC active)");
+    let results: Vec<(Architecture, PerfSummary)> = Architecture::all()
+        .into_iter()
+        .map(|a| (a, measure(a, 0.0)))
+        .collect();
+    let base = results[0].1;
+
+    let mut t = Table::new(["config", "io GB/s", "io vs base", "gc GB/s", "gc vs base"]);
+    for (arch, s) in &results {
+        t.row([
+            arch.label().to_string(),
+            format!("{:.2}", s.io_gbps),
+            pct(s.io_gbps / base.io_gbps),
+            format!("{:.2}", s.gc_gbps),
+            pct(s.gc_gbps / base.gc_gbps),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("paper: BW +11.8% io / +10.9% gc; dSSD +42.7% / +63.8%;");
+    println!("       dSSD_b only slightly above BW (fixed partitioned bandwidth);");
+    println!("       dSSD_f nearly matches dSSD (parallel fNoC channels).");
+
+    banner("Fig 7(b): I/O system-bus utilization during GC");
+    let mut t = Table::new(["config", "DRAM-hit io util", "flash-write io util", "gc util"]);
+    for arch in Architecture::all() {
+        let hit = measure(arch, 1.0);
+        let miss = measure(arch, 0.0);
+        t.row([
+            arch.label().to_string(),
+            format!("{:.1}%", hit.sysbus_io_util.min(1.0) * 100.0),
+            format!("{:.1}%", miss.sysbus_io_util.min(1.0) * 100.0),
+            format!("{:.1}%", miss.sysbus_gc_util.min(1.0) * 100.0),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("paper: dSSD_f raises I/O bus utilization by 18.1% (DRAM hit) and");
+    println!("       66.9% (flash write) over Baseline by evicting GC from the bus.");
+}

@@ -1,0 +1,58 @@
+//! Fig 8: I/O and GC performance as the amount of on-chip bandwidth is
+//! increased (×1.25 – ×4), for low-bandwidth (4 KB) and high-bandwidth
+//! (32 KB) flash traffic, comparing a widened conventional bus against
+//! the same budget given to a dSSD_f.
+
+use dssd_bench::report::{banner, pct, Table};
+use dssd_bench::{perf_config, run_synthetic};
+use dssd_kernel::SimSpan;
+use dssd_ssd::Architecture;
+use dssd_workload::AccessPattern;
+
+fn measure(arch: Architecture, factor: f64, pages: u32) -> (f64, f64) {
+    // Space-balance GC: sustained random writes are paced by how fast GC
+    // reclaims superblocks, so bandwidth changes show up as end-to-end
+    // performance exactly as in the paper's sustained-write sweeps.
+    let cfg = perf_config(arch).with_onchip_factor(factor);
+    let s = run_synthetic(cfg, AccessPattern::Random, pages, 0.0, 0.0, SimSpan::from_ms(200));
+    (s.io_gbps, s.gc_gbps)
+}
+
+fn main() {
+    for (label, pages) in [("(a) low bandwidth (4KB)", 1u32), ("(b) high bandwidth (32KB)", 8u32)] {
+        banner(&format!("Fig 8 {label}: perf vs on-chip bandwidth factor"));
+        let (base_io, base_gc) = measure(Architecture::Baseline, 1.0, pages);
+        let mut t = Table::new([
+            "factor",
+            "BW io",
+            "BW gc",
+            "dSSD_f io",
+            "dSSD_f gc",
+        ]);
+        for factor in [1.25, 1.5, 2.0, 3.0, 4.0] {
+            let (bw_io, bw_gc) = measure(Architecture::ExtraBandwidth, factor, pages);
+            let (f_io, f_gc) = measure(Architecture::DssdFnoc, factor, pages);
+            t.row([
+                format!("x{factor}"),
+                pct(bw_io / base_io),
+                pct(bw_gc / base_gc),
+                pct(f_io / base_io),
+                pct(f_gc / base_gc),
+            ]);
+        }
+        t.print();
+        println!();
+        if pages == 1 {
+            println!(
+                "paper: low bandwidth barely uses the bus, so widening it gains only\n\
+                 ~4.6% io / ~13.6% gc even at x2; dSSD_f slightly higher."
+            );
+        } else {
+            println!(
+                "paper: high bandwidth responds to bus width (baseline x1.5: +13.5% io,\n\
+                 +19.9% gc) but the same budget decoupled does far better\n\
+                 (dSSD x1.5: +39.4% io, +68% gc)."
+            );
+        }
+    }
+}

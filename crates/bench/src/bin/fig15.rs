@@ -1,0 +1,94 @@
+//! Fig 15: (a) worst-case synthetic performance impact as the number of
+//! active SRT remappings grows (ULL and TLC, read and write); (b) the
+//! endurance-per-performance-overhead metric across trace volumes.
+
+use dssd_bench::report::{banner, pct, Table};
+use dssd_bench::{perf_config, run_synthetic, run_trace, tlc_perf_config};
+use dssd_kernel::SimSpan;
+use dssd_reliability::{EnduranceConfig, EnduranceSim, SuperblockPolicy};
+use dssd_ssd::{Architecture, SsdConfig};
+use dssd_workload::msr;
+
+fn latency(mut cfg: SsdConfig, remaps: usize, read: bool) -> f64 {
+    cfg.srt_active_remaps = remaps;
+    let read_fraction = if read { 1.0 } else { 0.0 };
+    run_synthetic(
+        cfg,
+        dssd_workload::AccessPattern::Random,
+        8,
+        read_fraction,
+        0.0,
+        SimSpan::from_ms(25),
+    )
+    .mean_us
+}
+
+fn main() {
+    banner("Fig 15(a): normalized mean latency vs active SRT entries (worst case)");
+    let mut t = Table::new(["SRT entries", "ULL read", "ULL write", "TLC read", "TLC write"]);
+    let base = [
+        latency(perf_config(Architecture::DssdFnoc), 0, true),
+        latency(perf_config(Architecture::DssdFnoc), 0, false),
+        latency(tlc_perf_config(Architecture::DssdFnoc), 0, true),
+        latency(tlc_perf_config(Architecture::DssdFnoc), 0, false),
+    ];
+    for remaps in [64usize, 256, 1024, 2048] {
+        t.row([
+            remaps.to_string(),
+            pct(latency(perf_config(Architecture::DssdFnoc), remaps, true) / base[0]),
+            pct(latency(perf_config(Architecture::DssdFnoc), remaps, false) / base[1]),
+            pct(latency(tlc_perf_config(Architecture::DssdFnoc), remaps, true) / base[2]),
+            pct(latency(tlc_perf_config(Architecture::DssdFnoc), remaps, false) / base[3]),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("paper: READ impact is small; frequent random WRITEs on TLC see up to");
+    println!("       ~2x degradation at 2k entries (channel/flash conflicts).");
+
+    banner("Fig 15(b): endurance / performance-overhead metric vs BASELINE");
+    // Endurance gain from the reliability simulator (shared across
+    // volumes), performance overhead measured per volume with an active
+    // SRT population.
+    let e_cfg = EnduranceConfig { superblocks: 128, ..EnduranceConfig::paper_tlc() };
+    let at = |p| {
+        let r = EnduranceSim::new(e_cfg).run(p);
+        r.written_at_bad_fraction(0.02).unwrap_or(r.total_written) as f64
+    };
+    let endurance_gain = at(SuperblockPolicy::Reserved) / at(SuperblockPolicy::Baseline);
+
+    let mut t = Table::new(["trace", "class", "perf overhead", "endurance/overhead"]);
+    let mut by_class = [(0.0f64, 0u32); 2];
+    for p in msr::PROFILES.iter().take(12) {
+        let clean = {
+            let mut cfg = perf_config(Architecture::DssdFnoc);
+            cfg.gc_continuous = true;
+            run_trace(cfg, p, 30.0, SimSpan::from_ms(20)).mean_us
+        };
+        let remapped = {
+            let mut cfg = perf_config(Architecture::DssdFnoc);
+            cfg.gc_continuous = true;
+            cfg.srt_active_remaps = 2048;
+            run_trace(cfg, p, 30.0, SimSpan::from_ms(20)).mean_us
+        };
+        let overhead = remapped / clean;
+        let metric = endurance_gain / overhead;
+        let class = if p.is_read_intensive() { 0 } else { 1 };
+        by_class[class].0 += metric;
+        by_class[class].1 += 1;
+        t.row([
+            p.name.to_string(),
+            if class == 0 { "read-int." } else { "write-int." }.to_string(),
+            pct(overhead),
+            pct(metric),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "mean metric: read-intensive {}, write-intensive {}",
+        pct(by_class[0].0 / by_class[0].1.max(1) as f64),
+        pct(by_class[1].0 / by_class[1].1.max(1) as f64),
+    );
+    println!("paper: ~+21.7% for read-intensive, ~+6% for write-intensive volumes.");
+}

@@ -1,0 +1,49 @@
+//! Sec 6.5: area-overhead arithmetic of the dSSD additions.
+
+use dssd_bench::report::{banner, Table};
+use dssd_ctrl::overhead::OverheadReport;
+
+fn main() {
+    banner("Sec 6.5: dSSD area overhead (64 mm^2 controller reference)");
+    let r = OverheadReport::paper_config();
+    let mut t = Table::new(["component", "paper", "model"]);
+    t.row([
+        "per-controller ECC (8x LDPC)",
+        "~1.5%",
+        &format!("{:.2}% ({:.3} mm^2)", r.ecc_fraction() * 100.0, r.ecc_mm2),
+    ]);
+    t.row([
+        "fNoC routers (8x)",
+        "~0.25%",
+        &format!("{:.2}% ({:.3} mm^2)", r.router_fraction() * 100.0, r.routers_mm2),
+    ]);
+    t.row([
+        "dBUFs (8x 2x32KB)",
+        "~2.46%",
+        &format!("{:.2}% ({:.3} mm^2)", r.dbuf_fraction() * 100.0, r.dbuf_mm2),
+    ]);
+    t.row([
+        "total silicon",
+        "~4.2%",
+        &format!("{:.2}%", r.total_fraction() * 100.0),
+    ]);
+    t.row([
+        "SRT (1k x 32b entries)",
+        "~4 kB",
+        &format!("{} B", r.srt_bytes),
+    ]);
+    t.row([
+        "RBT (RESERV, 7%)",
+        "~1 kB/channel",
+        &format!("{} B", r.rbt_bytes),
+    ]);
+    t.print();
+
+    banner("Scaling with channel count");
+    let mut t = Table::new(["channels", "total overhead"]);
+    for ch in [4usize, 8, 16, 32] {
+        let r = OverheadReport::new(ch, 64, 1024, 0.07);
+        t.row([format!("{ch}"), format!("{:.2}%", r.total_fraction() * 100.0)]);
+    }
+    t.print();
+}

@@ -1,0 +1,107 @@
+//! Table 1: simulation parameters, plus the derived calibration checks
+//! the motivation section quotes (51.2 MB/s per-plane write bandwidth,
+//! 409.6 MB/s with 8 planes, 3.2 GB/s low-bandwidth aggregate).
+
+use dssd_bench::report::{banner, Table};
+use dssd_flash::{FlashGeometry, FlashTiming};
+use dssd_ssd::{Architecture, SsdConfig};
+
+fn main() {
+    banner("Table 1: simulation parameters");
+
+    let c = SsdConfig::table1_ull(Architecture::Baseline);
+    let g = c.geometry;
+    let mut t = Table::new(["component", "parameter", "paper (Table 1)"]);
+    t.row(["organization", "system bus", "8 GB/s (x1)"]);
+    t.row([
+        "organization",
+        "system bus (model)",
+        &format!("{} GB/s", c.system_bus_base_bytes_per_sec / 1_000_000_000),
+    ]);
+    t.row(["organization", "DRAM", "8 GB/s"]);
+    t.row([
+        "organization",
+        "DRAM (model)",
+        &format!("{} GB/s", c.dram_bytes_per_sec / 1_000_000_000),
+    ]);
+    t.row(["organization", "flash bus", "1 GB/s (1000 MHz, 8 bits)"]);
+    t.row([
+        "organization",
+        "flash bus (model)",
+        &format!("{} GB/s", c.flash_bus_bytes_per_sec / 1_000_000_000),
+    ]);
+    t.row([
+        "organization",
+        "array",
+        "8 channels, 8 ways, 1 die, 8 planes, 1384 blocks, 384 pages",
+    ]);
+    t.row([
+        "organization",
+        "array (model)",
+        &format!(
+            "{} channels, {} ways, {} die, {} planes, {} blocks, {} pages",
+            g.channels, g.ways, g.dies, g.planes, g.blocks, g.pages
+        ),
+    ]);
+    t.row(["wear", "distribution", "gaussian, E=5578, s=826.9, provision 7%"]);
+    let ull = FlashTiming::ull();
+    t.row(["flash (ULL)", "read/write/erase", "5us / 50us / 1ms, 4KB page"]);
+    t.row([
+        "flash (ULL)",
+        "model",
+        &format!(
+            "{:.0}us / {:.0}us / {:.0}ms, {} B page",
+            ull.read.mid().as_us_f64(),
+            ull.program.mid().as_us_f64(),
+            ull.erase.mid().as_us_f64() / 1000.0,
+            g.page_bytes
+        ),
+    ]);
+    let tlc = FlashTiming::tlc();
+    t.row(["memory (TLC)", "read/write/erase", "60-95us / 200-500us / 2ms, 16KB page"]);
+    t.row([
+        "memory (TLC)",
+        "model",
+        &format!(
+            "{:.0}-{:.0}us / {:.0}-{:.0}us / {:.0}ms, {} B page",
+            tlc.read.min.as_us_f64(),
+            tlc.read.max.as_us_f64(),
+            tlc.program.min.as_us_f64(),
+            tlc.program.max.as_us_f64(),
+            tlc.erase.mid().as_us_f64() / 1000.0,
+            FlashGeometry::table1_tlc().page_bytes
+        ),
+    ]);
+    t.row(["fNoC", "topology", "1D mesh, k=8, n=1, dim-order routing"]);
+    t.row([
+        "fNoC",
+        "model",
+        &format!("{:?}, k={}, dim-order routing", c.noc.topology, c.noc.terminals),
+    ]);
+    t.print();
+
+    banner("Derived calibration (Sec 3 motivation numbers)");
+    let per_plane = 4096.0 / ull.program_latency_mid().as_secs_f64() / 1e6;
+    let mut t = Table::new(["quantity", "paper", "model"]);
+    t.row([
+        "1-plane chip write BW",
+        "51.2 MB/s",
+        &format!("{per_plane:.1} MB/s"),
+    ]);
+    t.row([
+        "8-plane chip write BW",
+        "409.6 MB/s",
+        &format!("{:.1} MB/s", per_plane * 8.0),
+    ]);
+    t.row([
+        "low-BW aggregate (8ch x 8way)",
+        "~3.2 GB/s",
+        &format!("{:.2} GB/s", per_plane * 64.0 / 1000.0),
+    ]);
+    t.row([
+        "high-BW ceiling",
+        "~8 GB/s (system bus)",
+        &format!("{} GB/s", c.system_bus_base_bytes_per_sec / 1_000_000_000),
+    ]);
+    t.print();
+}

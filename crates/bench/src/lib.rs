@@ -1,0 +1,218 @@
+//! Experiment harness for the dSSD reproduction.
+//!
+//! One binary per evaluation figure regenerates that figure's data series
+//! and prints a paper-vs-measured comparison:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1` | Table 1 parameter dump + derived calibration checks |
+//! | `fig02` | I/O bandwidth timeline + bus utilization during GC |
+//! | `fig07` | Normalized I/O & GC performance, all five architectures |
+//! | `fig08` | On-chip bandwidth sensitivity sweep |
+//! | `fig09` | I/O & copyback latency breakdowns vs plane count |
+//! | `fig10` | DRAM-hit bandwidth/tails + trace mean latencies |
+//! | `fig11` | Trace tail latencies vs PreemptiveGC/TinyTail |
+//! | `fig12` | GC perf vs fNoC channel bandwidth (channels/ways sweeps) |
+//! | `fig13` | fNoC topology and buffer-size comparison |
+//! | `fig14` | Superblock lifetime curves, σ sweep, WAS overhead |
+//! | `fig15` | SRT remap overhead + endurance/overhead trace metric |
+//! | `fig16` | Endurance vs SRT size, active SRT entries |
+//! | `overhead` | Sec 6.5 area arithmetic |
+//!
+//! Run with `cargo run -p dssd-bench --release --bin figNN`. Results are
+//! recorded in the repository's `EXPERIMENTS.md`.
+//!
+//! All performance experiments use [`perf_config`]: the paper's 8-channel
+//! × 8-way × 8-plane ULL array with per-plane block count scaled down
+//! (the paper's own footnote-10 trick) so GC-heavy runs finish in
+//! seconds; per-page timing, channel counts and bus bandwidths are
+//! untouched, so bandwidth/latency shapes are preserved.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod report;
+
+use dssd_kernel::{SimSpan, SimTime};
+use dssd_ssd::{Architecture, RunReport, SsdConfig, SsdSim};
+use dssd_workload::msr::VolumeProfile;
+use dssd_workload::{AccessPattern, SyntheticWorkload};
+
+/// The reduced-scale ULL configuration used by the performance
+/// experiments (Figs 2, 7–13, 15a).
+#[must_use]
+pub fn perf_config(arch: Architecture) -> SsdConfig {
+    SsdConfig::test_tiny(arch)
+}
+
+/// A reduced-scale TLC configuration (Fig 15a's TLC rows).
+#[must_use]
+pub fn tlc_perf_config(arch: Architecture) -> SsdConfig {
+    let mut c = SsdConfig::table1_tlc(arch);
+    c.geometry.blocks = 64;
+    c.ftl.overprovision = 0.25;
+    c.ftl.gc_threshold_free = 8;
+    c.ftl.gc_hard_free = 3;
+    c.prefill_target_free = 7;
+    c
+}
+
+/// Condensed results of one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfSummary {
+    /// Mean host I/O bandwidth, GB/s.
+    pub io_gbps: f64,
+    /// Mean GC copy bandwidth, GB/s.
+    pub gc_gbps: f64,
+    /// Mean host request latency, µs.
+    pub mean_us: f64,
+    /// 99th-percentile host request latency, µs.
+    pub p99_us: f64,
+    /// 99.99th-percentile host request latency, µs.
+    pub p9999_us: f64,
+    /// Host requests completed.
+    pub requests: u64,
+    /// System-bus utilization attributed to host I/O.
+    pub sysbus_io_util: f64,
+    /// System-bus utilization attributed to GC.
+    pub sysbus_gc_util: f64,
+}
+
+impl PerfSummary {
+    fn from_report(sim: &mut SsdSim) -> PerfSummary {
+        let p99 = sim.report_mut().latency_percentile(0.99).as_us_f64();
+        let p9999 = sim.report_mut().latency_percentile(0.9999).as_us_f64();
+        let r = sim.report();
+        PerfSummary {
+            io_gbps: r.io_bandwidth_gbps(),
+            gc_gbps: r.gc_bandwidth_gbps(),
+            mean_us: r.mean_latency().as_us_f64(),
+            p99_us: p99,
+            p9999_us: p9999,
+            requests: r.requests_completed,
+            sysbus_io_util: r.sysbus_io_utilization(),
+            sysbus_gc_util: r.sysbus_gc_utilization(),
+        }
+    }
+}
+
+/// Runs a closed-loop synthetic workload on a prefilled drive and returns
+/// the summary. `dram_hit` = 1.0 reproduces the all-cached scenario.
+pub fn run_synthetic(
+    config: SsdConfig,
+    pattern: AccessPattern,
+    request_pages: u32,
+    read_fraction: f64,
+    dram_hit: f64,
+    duration: SimSpan,
+) -> PerfSummary {
+    let mut sim = SsdSim::new(config);
+    sim.prefill();
+    let wl = SyntheticWorkload::mixed(pattern, request_pages, read_fraction)
+        .with_dram_hit_fraction(dram_hit);
+    sim.run_closed_loop(wl, duration);
+    PerfSummary::from_report(&mut sim)
+}
+
+/// Runs an accelerated MSR-style trace replay on a prefilled drive.
+pub fn run_trace(
+    config: SsdConfig,
+    profile: &VolumeProfile,
+    speedup: f64,
+    duration: SimSpan,
+) -> PerfSummary {
+    let page_bytes = config.geometry.page_bytes;
+    let mut sim = SsdSim::new(config);
+    sim.prefill();
+    let trace = profile
+        .synthesize(SimSpan::from_ns((duration.as_ns() as f64 * speedup) as u64), 7)
+        .accelerate(speedup);
+    let reqs = trace.to_requests(page_bytes, sim.ftl().lpn_count());
+    sim.run_trace(reqs, duration);
+    PerfSummary::from_report(&mut sim)
+}
+
+/// Runs a closed-loop workload and returns the full [`RunReport`]-derived
+/// timeline series `(ms, io GB/s, sysbus io util, sysbus gc util)` for
+/// Fig 2-style plots, plus when GC first triggered.
+pub fn run_timeline(
+    config: SsdConfig,
+    request_pages: u32,
+    duration: SimSpan,
+) -> (Vec<(f64, f64, f64, f64)>, Option<SimTime>) {
+    let mut sim = SsdSim::new(config);
+    sim.prefill();
+    // Random addressing: on the paper's 1 TB drive a sequential stream
+    // never wraps into its own recent writes within the window, so GC
+    // victims keep ~50% live data. On this capacity-scaled drive a
+    // sequential stream would immediately re-invalidate whole
+    // superblocks (free erases); random writes preserve the paper's
+    // victim-liveness behaviour.
+    let wl = SyntheticWorkload::writes(AccessPattern::Random, request_pages);
+    let report: &RunReport = sim.run_closed_loop(wl, duration);
+    let io = report.io_bw.series();
+    let ui = report.sysbus_io_util.series();
+    let ug = report.sysbus_gc_util.series();
+    let n = io.len().max(ui.len()).max(ug.len());
+    let get = |v: &Vec<(SimTime, f64)>, i: usize| v.get(i).map_or(0.0, |&(_, x)| x);
+    let series = (0..n)
+        .map(|i| {
+            (
+                i as f64,
+                get(&io, i) / 1e9,
+                get(&ui, i),
+                get(&ug, i),
+            )
+        })
+        .collect();
+    (series, report.first_gc_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_harness_produces_sane_summary() {
+        let mut cfg = perf_config(Architecture::Baseline);
+        cfg.gc_continuous = true;
+        let s = run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 0.0, SimSpan::from_ms(5));
+        assert!(s.io_gbps > 0.5);
+        assert!(s.gc_gbps > 0.0);
+        assert!(s.p99_us >= s.mean_us);
+        assert!(s.p9999_us >= s.p99_us);
+        assert!(s.requests > 100);
+    }
+
+    #[test]
+    fn trace_harness_replays_profiles() {
+        let profile = dssd_workload::msr::profile("prn_0").unwrap();
+        let s = run_trace(
+            perf_config(Architecture::Baseline),
+            profile,
+            20.0,
+            SimSpan::from_ms(10),
+        );
+        assert!(s.requests > 100, "only {} requests", s.requests);
+        assert!(s.mean_us > 0.0);
+    }
+
+    #[test]
+    fn timeline_has_gc_marker() {
+        let (series, first_gc) = run_timeline(
+            perf_config(Architecture::Baseline),
+            8,
+            SimSpan::from_ms(10),
+        );
+        assert!(series.len() >= 9);
+        assert!(first_gc.is_some());
+        assert!(series.iter().any(|&(_, io, _, _)| io > 0.1));
+    }
+
+    #[test]
+    fn tlc_config_is_consistent() {
+        let c = tlc_perf_config(Architecture::DssdFnoc);
+        assert_eq!(c.geometry.page_bytes, 16384);
+        assert!(c.ftl.gc_threshold_free >= c.ftl.gc_hard_free);
+    }
+}

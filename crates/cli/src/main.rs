@@ -1,0 +1,291 @@
+//! `dssd-cli` — drive the dSSD simulator from the command line.
+//!
+//! ```text
+//! dssd-cli run        --arch dssd_f --pages 8 --ms 30 [--pattern random]
+//!                     [--qd 64] [--dram-hit] [--gc-continuous] [--seed N]
+//! dssd-cli trace      --volume prn_0 --arch baseline [--speedup 10] [--ms 40]
+//! dssd-cli trace      --csv FILE --arch dssd_f [--ms 40]
+//! dssd-cli endurance  [--policy recycled] [--superblocks 256] [--sigma 826.9]
+//!                     [--srt 1024] [--reserved 0.07]
+//! dssd-cli noc        [--topology mesh|ring|crossbar] [--terminals 8]
+//!                     [--pattern uniform|tornado|hotspot] [--load-mbps 150]
+//! dssd-cli volumes
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{ArgError, Flags};
+use dssd_kernel::{Rng, SimSpan};
+use dssd_noc::traffic::{schedule, Pattern};
+use dssd_noc::{drive, Network, NocConfig, TopologyKind};
+use dssd_reliability::{EnduranceConfig, EnduranceSim, SuperblockPolicy};
+use dssd_ssd::{Architecture, SsdConfig, SsdSim, StageKind};
+use dssd_workload::{msr, AccessPattern, SyntheticWorkload, Trace};
+
+const USAGE: &str = "usage: dssd-cli <run|trace|endurance|noc|volumes> [--flags]
+run 'dssd-cli <command> --help' is not needed: every flag has a default;
+see the crate docs (or the source header) for the full flag list.";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "trace" => cmd_trace(rest),
+        "endurance" => cmd_endurance(rest),
+        "noc" => cmd_noc(rest),
+        "volumes" => cmd_volumes(),
+        other => Err(ArgError(format!("unknown command `{other}`\n{USAGE}"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_arch(s: &str) -> Result<Architecture, ArgError> {
+    match s.to_ascii_lowercase().as_str() {
+        "baseline" => Ok(Architecture::Baseline),
+        "bw" => Ok(Architecture::ExtraBandwidth),
+        "dssd" => Ok(Architecture::Dssd),
+        "dssd_b" | "dssdb" => Ok(Architecture::DssdBus),
+        "dssd_f" | "dssdf" | "fnoc" => Ok(Architecture::DssdFnoc),
+        other => Err(ArgError(format!(
+            "unknown architecture `{other}` (baseline|bw|dssd|dssd_b|dssd_f)"
+        ))),
+    }
+}
+
+fn build_config(flags: &Flags) -> Result<SsdConfig, ArgError> {
+    let arch = parse_arch(flags.get("arch").unwrap_or("dssd_f"))?;
+    let mut cfg = SsdConfig::test_tiny(arch);
+    cfg.gc_continuous = flags.switch("gc-continuous");
+    cfg.srt_active_remaps = flags.get_or("srt-remaps", 0usize)?;
+    let seed = flags.get_or("seed", cfg.seed)?;
+    cfg = cfg.with_seed(seed);
+    let factor = flags.get_or("onchip-factor", cfg.onchip_bw_factor)?;
+    if factor >= 1.0 {
+        cfg = cfg.with_onchip_factor(factor);
+    }
+    Ok(cfg)
+}
+
+fn print_report(sim: &mut SsdSim) {
+    let p99 = sim.report_mut().latency_percentile(0.99);
+    let p999 = sim.report_mut().latency_percentile(0.999);
+    let r = sim.report();
+    println!("requests      {}", r.requests_completed);
+    println!("io bandwidth  {:.3} GB/s", r.io_bandwidth_gbps());
+    println!("gc bandwidth  {:.3} GB/s", r.gc_bandwidth_gbps());
+    println!("gc rounds     {}", r.gc_rounds);
+    println!("mean latency  {}", r.mean_latency());
+    println!("p99 latency   {p99}");
+    println!("p99.9 latency {p999}");
+    println!(
+        "sysbus util   io {:.1}% / gc {:.1}%",
+        r.sysbus_io_utilization().min(1.0) * 100.0,
+        r.sysbus_gc_utilization().min(1.0) * 100.0
+    );
+    if let Some(eol) = r.end_of_life {
+        println!("END OF LIFE at {:.1} ms", eol.as_ms_f64());
+    }
+    println!();
+    println!("io breakdown (mean us/stage):");
+    for s in StageKind::all() {
+        let v = r.io_breakdown.mean_us(s);
+        if v > 0.005 {
+            println!("  {:<11} {v:>9.1}", s.label());
+        }
+    }
+    if r.copyback_breakdown.count() > 0 {
+        println!("copyback breakdown (mean us/stage):");
+        for s in StageKind::all() {
+            let v = r.copyback_breakdown.mean_us(s);
+            if v > 0.005 {
+                println!("  {:<11} {v:>9.1}", s.label());
+            }
+        }
+    }
+}
+
+fn cmd_run(rest: &[String]) -> Result<(), ArgError> {
+    let flags = Flags::parse(rest, &["dram-hit", "gc-continuous", "no-prefill", "reads"])?;
+    let cfg = build_config(&flags)?;
+    let pages = flags.get_or("pages", 8u32)?;
+    let ms = flags.get_or("ms", 30u64)?;
+    let qd = flags.get_or("qd", 64usize)?;
+    let pattern = match flags.get("pattern").unwrap_or("random") {
+        "random" | "rand" => AccessPattern::Random,
+        "sequential" | "seq" => AccessPattern::Sequential,
+        p => return Err(ArgError(format!("unknown pattern `{p}`"))),
+    };
+    let read_fraction = if flags.switch("reads") { 1.0 } else { 0.0 };
+    println!(
+        "running {} for {ms} ms: {pages}-page {:?} requests, QD {qd}\n",
+        cfg.architecture.label(),
+        pattern
+    );
+    let mut sim = SsdSim::new(cfg);
+    if !flags.switch("no-prefill") {
+        sim.prefill();
+    }
+    let mut wl = SyntheticWorkload::mixed(pattern, pages, read_fraction).with_queue_depth(qd);
+    if flags.switch("dram-hit") {
+        wl = wl.with_dram_hit_fraction(1.0);
+    }
+    sim.run_closed_loop(wl, SimSpan::from_ms(ms));
+    print_report(&mut sim);
+    Ok(())
+}
+
+fn cmd_trace(rest: &[String]) -> Result<(), ArgError> {
+    let flags = Flags::parse(rest, &["gc-continuous"])?;
+    let mut cfg = build_config(&flags)?;
+    cfg.gc_continuous = true;
+    let ms = flags.get_or("ms", 40u64)?;
+    let speedup: f64 = flags.get_or("speedup", 10.0)?;
+    let trace: Trace = match (flags.get("csv"), flags.get("volume")) {
+        (Some(path), _) => std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?
+            .parse()
+            .map_err(|e| ArgError(format!("{e}")))?,
+        (None, volume) => {
+            let name = volume.unwrap_or("prn_0");
+            let profile = msr::profile(name)
+                .ok_or_else(|| ArgError(format!("unknown volume `{name}` (try `volumes`)")))?;
+            profile.synthesize(
+                SimSpan::from_ns((SimSpan::from_ms(ms).as_ns() as f64 * speedup) as u64),
+                flags.get_or("seed", 42u64)?,
+            )
+        }
+    };
+    println!(
+        "replaying {} records ({:.0}% reads) at {speedup}x on {} for {ms} ms\n",
+        trace.len(),
+        trace.read_ratio() * 100.0,
+        cfg.architecture.label()
+    );
+    let page_bytes = cfg.geometry.page_bytes;
+    let mut sim = SsdSim::new(cfg);
+    sim.prefill();
+    let requests = trace
+        .accelerate(speedup)
+        .to_requests(page_bytes, sim.ftl().lpn_count());
+    sim.run_trace(requests, SimSpan::from_ms(ms));
+    print_report(&mut sim);
+    Ok(())
+}
+
+fn cmd_endurance(rest: &[String]) -> Result<(), ArgError> {
+    let flags = Flags::parse(rest, &[])?;
+    let mut cfg = EnduranceConfig::paper_tlc();
+    cfg.superblocks = flags.get_or("superblocks", cfg.superblocks)?;
+    cfg.pe_sigma = flags.get_or("sigma", cfg.pe_sigma)?;
+    cfg.pe_mean = flags.get_or("mean", cfg.pe_mean)?;
+    cfg.srt_entries = flags.get_or("srt", cfg.srt_entries)?;
+    cfg.reserved_fraction = flags.get_or("reserved", cfg.reserved_fraction)?;
+    cfg.seed = flags.get_or("seed", cfg.seed)?;
+    let policies: Vec<SuperblockPolicy> = match flags.get("policy") {
+        None | Some("all") => SuperblockPolicy::all().to_vec(),
+        Some("baseline") => vec![SuperblockPolicy::Baseline],
+        Some("recycled") => vec![SuperblockPolicy::Recycled],
+        Some("reserved") | Some("reserv") => vec![SuperblockPolicy::Reserved],
+        Some("was") => vec![SuperblockPolicy::WearAware],
+        Some(p) => return Err(ArgError(format!("unknown policy `{p}`"))),
+    };
+    println!(
+        "{} superblocks, P/E ~ N({}, {}^2), SRT {} entries\n",
+        cfg.superblocks, cfg.pe_mean, cfg.pe_sigma, cfg.srt_entries
+    );
+    println!(
+        "{:<9} {:>13} {:>13} {:>13} {:>8}",
+        "policy", "first bad", "at 5% bad", "total", "remaps"
+    );
+    for policy in policies {
+        let r = EnduranceSim::new(cfg).run(policy);
+        let tb = |b: u64| format!("{:.2} TB", b as f64 / 1e12);
+        println!(
+            "{:<9} {:>13} {:>13} {:>13} {:>8}",
+            policy.label(),
+            r.first_bad_bytes().map(tb).unwrap_or_else(|| "-".into()),
+            tb(r.written_at_bad_fraction(0.05).unwrap_or(r.total_written)),
+            tb(r.total_written),
+            r.remap_events,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_noc(rest: &[String]) -> Result<(), ArgError> {
+    let flags = Flags::parse(rest, &[])?;
+    let topology = match flags.get("topology").unwrap_or("mesh") {
+        "mesh" | "mesh1d" => TopologyKind::Mesh1D,
+        "ring" => TopologyKind::Ring,
+        "crossbar" | "xbar" => TopologyKind::Crossbar,
+        t => return Err(ArgError(format!("unknown topology `{t}`"))),
+    };
+    let terminals = flags.get_or("terminals", 8usize)?;
+    let pattern = match flags.get("pattern").unwrap_or("uniform") {
+        "uniform" | "random" => Pattern::UniformRandom,
+        "tornado" => Pattern::Tornado,
+        "hotspot" => Pattern::Hotspot,
+        "bitrev" | "bitreverse" => Pattern::BitReverse,
+        p => return Err(ArgError(format!("unknown pattern `{p}`"))),
+    };
+    let load_mbps = flags.get_or("load-mbps", 150u64)?;
+    let ms = flags.get_or("ms", 2u64)?;
+    let config = NocConfig::new(topology, terminals)
+        .with_bisection_bandwidth(flags.get_or("bisection", 2_000_000_000u64)?)
+        .with_input_buffer_flits(flags.get_or("buffer", 4usize)?);
+    let mut rng = Rng::new(flags.get_or("seed", 7u64)?);
+    let packets = schedule(
+        terminals,
+        pattern,
+        load_mbps * 1_000_000,
+        4096,
+        SimSpan::from_ms(ms),
+        &mut rng,
+    );
+    let offered = packets.len();
+    let mut net = Network::new(config);
+    let delivered = drive(&mut net, packets);
+    let end = delivered.iter().map(|d| d.at).max().unwrap_or_default();
+    let bytes: u64 = delivered.iter().map(|d| d.packet.bytes).sum();
+    println!("{topology:?}, {terminals} terminals, {pattern:?} @ {load_mbps} MB/s/node");
+    println!("offered   {offered} packets");
+    println!("delivered {} packets", delivered.len());
+    println!(
+        "throughput {:.3} GB/s",
+        bytes as f64 / end.as_secs_f64().max(1e-12) / 1e9
+    );
+    println!("mean latency {}", net.stats().mean_latency());
+    println!("mean hops    {:.2}", net.stats().mean_hops());
+    Ok(())
+}
+
+fn cmd_volumes() -> Result<(), ArgError> {
+    println!(
+        "{:<8} {:>10} {:>9} {:>10} {:>8} {:>6}",
+        "volume", "read%", "read KiB", "write KiB", "IOPS", "class"
+    );
+    for p in msr::PROFILES {
+        println!(
+            "{:<8} {:>10.0} {:>9.0} {:>10.0} {:>8.0} {:>6}",
+            p.name,
+            p.read_ratio * 100.0,
+            p.read_kib,
+            p.write_kib,
+            p.iops,
+            if p.is_read_intensive() { "read" } else { "write" }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,142 @@
+//! The decoupled flash controller (C_D) of Fig 4, composed.
+
+use crate::{
+    BufferPool, CommandQueue, EccConfig, EccEngine, RecycleBlockTable, SuperblockRemapTable,
+};
+
+/// One decoupled flash controller: the conventional controller's command
+/// queue plus the dSSD additions — an integrated [`EccEngine`], the
+/// decoupled buffer ([`BufferPool`]), and the dynamic-superblock hardware
+/// ([`SuperblockRemapTable`] and [`RecycleBlockTable`], keyed by global
+/// block index).
+///
+/// The controller is passive state, like every resource in this
+/// reproduction; the event-driven world drives it. The network interface
+/// and router live in `dssd-noc` (one terminal per controller).
+///
+/// # Example
+///
+/// ```
+/// use dssd_ctrl::{CommandKind, DecoupledController, EccConfig};
+///
+/// let mut ctrl = DecoupledController::new(EccConfig::default(), 16, 1024, 4096);
+/// let cmd = ctrl.queue_mut().submit(CommandKind::Copyback { dst_node: 3 });
+/// assert!(ctrl.dbuf_mut().try_reserve());
+/// ctrl.queue_mut().retire(cmd);
+/// ctrl.dbuf_mut().release();
+/// ```
+#[derive(Debug)]
+pub struct DecoupledController {
+    queue: CommandQueue,
+    ecc: EccEngine,
+    dbuf: BufferPool,
+    srt: SuperblockRemapTable<u32>,
+    rbt: RecycleBlockTable<u32>,
+}
+
+impl DecoupledController {
+    /// Creates an idle controller.
+    ///
+    /// * `ecc` — integrated ECC engine configuration.
+    /// * `dbuf_pages` — decoupled-buffer capacity in pages.
+    /// * `srt_entries` — superblock remapping table capacity.
+    /// * `rbt_entries` — recycle block table capacity.
+    #[must_use]
+    pub fn new(
+        ecc: EccConfig,
+        dbuf_pages: usize,
+        srt_entries: usize,
+        rbt_entries: usize,
+    ) -> Self {
+        DecoupledController {
+            queue: CommandQueue::new(),
+            ecc: EccEngine::new(ecc),
+            dbuf: BufferPool::new(dbuf_pages),
+            srt: SuperblockRemapTable::new(srt_entries),
+            rbt: RecycleBlockTable::new(rbt_entries),
+        }
+    }
+
+    /// The command queue (read-only).
+    #[must_use]
+    pub fn queue(&self) -> &CommandQueue {
+        &self.queue
+    }
+
+    /// The command queue.
+    pub fn queue_mut(&mut self) -> &mut CommandQueue {
+        &mut self.queue
+    }
+
+    /// The integrated ECC engine (read-only).
+    #[must_use]
+    pub fn ecc(&self) -> &EccEngine {
+        &self.ecc
+    }
+
+    /// The integrated ECC engine.
+    pub fn ecc_mut(&mut self) -> &mut EccEngine {
+        &mut self.ecc
+    }
+
+    /// The decoupled buffer (read-only).
+    #[must_use]
+    pub fn dbuf(&self) -> &BufferPool {
+        &self.dbuf
+    }
+
+    /// The decoupled buffer.
+    pub fn dbuf_mut(&mut self) -> &mut BufferPool {
+        &mut self.dbuf
+    }
+
+    /// The superblock remapping table (read-only).
+    #[must_use]
+    pub fn srt(&self) -> &SuperblockRemapTable<u32> {
+        &self.srt
+    }
+
+    /// The superblock remapping table.
+    pub fn srt_mut(&mut self) -> &mut SuperblockRemapTable<u32> {
+        &mut self.srt
+    }
+
+    /// The recycle block table (read-only).
+    #[must_use]
+    pub fn rbt(&self) -> &RecycleBlockTable<u32> {
+        &self.rbt
+    }
+
+    /// The recycle block table.
+    pub fn rbt_mut(&mut self) -> &mut RecycleBlockTable<u32> {
+        &mut self.rbt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CommandKind, CopybackStage};
+
+    #[test]
+    fn composes_all_parts() {
+        let mut c = DecoupledController::new(EccConfig::default(), 16, 1024, 64);
+        assert_eq!(c.dbuf().capacity(), 16);
+        assert_eq!(c.srt().capacity(), 1024);
+        assert_eq!(c.rbt().capacity(), 64);
+        let cmd = c.queue_mut().submit(CommandKind::Copyback { dst_node: 1 });
+        assert_eq!(c.queue().stage(cmd), Some(CopybackStage::Issued));
+        assert_eq!(c.ecc().checked(), 0);
+    }
+
+    #[test]
+    fn tables_are_independent_per_controller() {
+        let mut a = DecoupledController::new(EccConfig::default(), 16, 8, 8);
+        let b = DecoupledController::new(EccConfig::default(), 16, 8, 8);
+        a.srt_mut().insert(1, 2).unwrap();
+        a.rbt_mut().deposit(9).unwrap();
+        assert_eq!(a.srt().active_entries(), 1);
+        assert_eq!(b.srt().active_entries(), 0);
+        assert!(b.rbt().is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Die busy-state tracking.
+
+use crate::FlashGeometry;
+use dssd_kernel::{SimSpan, SimTime};
+
+/// Busy-state machines for every die in the SSD.
+///
+/// A NAND die executes one array operation at a time (multi-plane
+/// operations count as one), so each die is modeled as a FIFO resource:
+/// an operation issued at `now` starts when the die last becomes idle and
+/// occupies it for the operation's array latency.
+///
+/// # Example
+///
+/// ```
+/// use dssd_flash::{DieGrid, FlashGeometry};
+/// use dssd_kernel::{SimSpan, SimTime};
+///
+/// let geo = FlashGeometry::tiny();
+/// let mut dies = DieGrid::new(&geo);
+/// let (s1, d1) = dies.occupy(0, SimTime::ZERO, SimSpan::from_us(50));
+/// let (s2, _) = dies.occupy(0, SimTime::ZERO, SimSpan::from_us(50));
+/// assert_eq!(s1, SimTime::ZERO);
+/// assert_eq!(s2, d1); // same die serializes
+/// let (s3, _) = dies.occupy(1, SimTime::ZERO, SimSpan::from_us(50));
+/// assert_eq!(s3, SimTime::ZERO); // different die is independent
+/// ```
+#[derive(Debug, Clone)]
+pub struct DieGrid {
+    busy_until: Vec<SimTime>,
+    busy_total: Vec<SimSpan>,
+    ops: Vec<u64>,
+}
+
+impl DieGrid {
+    /// Creates an all-idle grid for the geometry.
+    #[must_use]
+    pub fn new(geometry: &FlashGeometry) -> Self {
+        let n = geometry.total_dies() as usize;
+        DieGrid {
+            busy_until: vec![SimTime::ZERO; n],
+            busy_total: vec![SimSpan::ZERO; n],
+            ops: vec![0; n],
+        }
+    }
+
+    /// Number of dies tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// True if the grid tracks no dies.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.busy_until.is_empty()
+    }
+
+    /// Occupies die `die` for `duration`, starting no earlier than `now`.
+    /// Returns `(start, done)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die` is out of range.
+    pub fn occupy(&mut self, die: usize, now: SimTime, duration: SimSpan) -> (SimTime, SimTime) {
+        let start = now.max(self.busy_until[die]);
+        let done = start + duration;
+        self.busy_until[die] = done;
+        self.busy_total[die] += duration;
+        self.ops[die] += 1;
+        (start, done)
+    }
+
+    /// When die `die` next becomes idle.
+    #[must_use]
+    pub fn idle_at(&self, die: usize) -> SimTime {
+        self.busy_until[die]
+    }
+
+    /// True if die `die` is idle at `now`.
+    #[must_use]
+    pub fn is_idle(&self, die: usize, now: SimTime) -> bool {
+        self.busy_until[die] <= now
+    }
+
+    /// Total array-busy time accumulated on die `die`.
+    #[must_use]
+    pub fn busy_total(&self, die: usize) -> SimSpan {
+        self.busy_total[die]
+    }
+
+    /// Operations issued to die `die`.
+    #[must_use]
+    pub fn op_count(&self, die: usize) -> u64 {
+        self.ops[die]
+    }
+
+    /// Mean utilization of all dies over `elapsed`.
+    #[must_use]
+    pub fn mean_utilization(&self, elapsed: SimSpan) -> f64 {
+        if elapsed.is_zero() || self.busy_total.is_empty() {
+            return 0.0;
+        }
+        let total: SimSpan = self.busy_total.iter().copied().sum();
+        total.as_ns() as f64 / (elapsed.as_ns() as f64 * self.busy_total.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dies_are_independent() {
+        let mut g = DieGrid::new(&FlashGeometry::tiny());
+        let (_, d0) = g.occupy(0, SimTime::ZERO, SimSpan::from_us(10));
+        let (s1, _) = g.occupy(1, SimTime::ZERO, SimSpan::from_us(10));
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(d0, SimTime::from_us(10));
+    }
+
+    #[test]
+    fn same_die_serializes() {
+        let mut g = DieGrid::new(&FlashGeometry::tiny());
+        let (_, d0) = g.occupy(0, SimTime::ZERO, SimSpan::from_us(10));
+        let (s1, d1) = g.occupy(0, SimTime::ZERO, SimSpan::from_us(5));
+        assert_eq!(s1, d0);
+        assert_eq!(d1, SimTime::from_us(15));
+    }
+
+    #[test]
+    fn late_arrival_starts_immediately() {
+        let mut g = DieGrid::new(&FlashGeometry::tiny());
+        g.occupy(0, SimTime::ZERO, SimSpan::from_us(10));
+        let (s, _) = g.occupy(0, SimTime::from_us(100), SimSpan::from_us(5));
+        assert_eq!(s, SimTime::from_us(100));
+    }
+
+    #[test]
+    fn idle_query() {
+        let mut g = DieGrid::new(&FlashGeometry::tiny());
+        assert!(g.is_idle(0, SimTime::ZERO));
+        g.occupy(0, SimTime::ZERO, SimSpan::from_us(10));
+        assert!(!g.is_idle(0, SimTime::from_us(5)));
+        assert!(g.is_idle(0, SimTime::from_us(10)));
+    }
+
+    #[test]
+    fn accounting() {
+        let mut g = DieGrid::new(&FlashGeometry::tiny());
+        g.occupy(2, SimTime::ZERO, SimSpan::from_us(10));
+        g.occupy(2, SimTime::ZERO, SimSpan::from_us(30));
+        assert_eq!(g.busy_total(2), SimSpan::from_us(40));
+        assert_eq!(g.op_count(2), 2);
+        assert_eq!(g.op_count(0), 0);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut g = DieGrid::new(&FlashGeometry::tiny());
+        let dies = g.len() as u64;
+        for d in 0..g.len() {
+            g.occupy(d, SimTime::ZERO, SimSpan::from_us(50));
+        }
+        let u = g.mean_utilization(SimSpan::from_us(100));
+        assert!((u - 0.5).abs() < 1e-9, "u = {u}, dies = {dies}");
+        assert_eq!(g.mean_utilization(SimSpan::ZERO), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Occupancy intervals of one die never overlap and total busy
+        /// time equals the sum of requested durations.
+        #[test]
+        fn die_occupancy_is_serial(
+            ops in proptest::collection::vec((0u64..5_000, 1u64..500), 1..120),
+        ) {
+            let geo = FlashGeometry::tiny();
+            let mut grid = DieGrid::new(&geo);
+            let mut prev_done = SimTime::ZERO;
+            let mut total = SimSpan::ZERO;
+            for &(at, dur_us) in &ops {
+                let dur = SimSpan::from_us(dur_us);
+                let (start, done) = grid.occupy(0, SimTime::from_us(at), dur);
+                prop_assert!(start >= prev_done, "overlap on die 0");
+                prop_assert!(start >= SimTime::from_us(at));
+                prop_assert_eq!(done - start, dur);
+                prev_done = done;
+                total += dur;
+            }
+            prop_assert_eq!(grid.busy_total(0), total);
+            prop_assert_eq!(grid.op_count(0), ops.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Garbage-collection work units and scheduling policies.
+
+use dssd_flash::{BlockAddr, DieAddr, PageAddr};
+
+use crate::Lpn;
+
+/// How GC page copies are scheduled relative to host I/O — the prior-work
+/// spectrum the paper compares against (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcPolicy {
+    /// PaGC: "perform GC in parallel across all flash memory". The
+    /// paper's baseline; copies are issued on every channel at once.
+    Parallel,
+    /// Semi-preemptive GC: copies yield to pending host I/O until the
+    /// free-superblock pool drops to `hard_free_superblocks`, after which
+    /// GC can no longer be postponed and runs unconditionally.
+    Preemptive {
+        /// Free-superblock count at which GC becomes non-preemptible.
+        hard_free_superblocks: usize,
+    },
+    /// TinyTail-style partial GC: copies are confined to at most
+    /// `concurrent_channels` flash channels at a time so the remaining
+    /// channels serve I/O unobstructed (the RAIN-parity reconstruction of
+    /// reads is modeled by the embedding simulator).
+    TinyTail {
+        /// Channels allowed to run GC simultaneously.
+        concurrent_channels: usize,
+    },
+}
+
+impl GcPolicy {
+    /// Whether a GC copy may be issued right now.
+    ///
+    /// * `host_idle` — no host I/O is waiting.
+    /// * `must_gc` — the free pool is at or below the hard threshold.
+    #[must_use]
+    pub fn allows_issue(&self, host_idle: bool, must_gc: bool) -> bool {
+        match self {
+            GcPolicy::Parallel | GcPolicy::TinyTail { .. } => true,
+            GcPolicy::Preemptive { .. } => host_idle || must_gc,
+        }
+    }
+
+    /// How many channels may run GC copies at once, out of `channels`.
+    #[must_use]
+    pub fn channel_limit(&self, channels: usize) -> usize {
+        match self {
+            GcPolicy::Parallel | GcPolicy::Preemptive { .. } => channels,
+            GcPolicy::TinyTail { concurrent_channels } => {
+                (*concurrent_channels).clamp(1, channels)
+            }
+        }
+    }
+}
+
+/// One multi-plane read's worth of GC copy work: valid pages from one
+/// page row of one die of the victim superblock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopyGroup {
+    /// The die the pages are read from.
+    pub src_die: DieAddr,
+    /// `(LPN, source page)` pairs — distinct planes, same page row.
+    pub pages: Vec<(Lpn, PageAddr)>,
+}
+
+impl CopyGroup {
+    /// Pages in the group.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True if the group carries no pages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+/// One round of garbage collection: a victim superblock, its live data
+/// organized into multi-plane copy groups, and the erases to perform
+/// once the copies land.
+#[derive(Debug, Clone)]
+pub struct GcRound {
+    /// The victim superblock id.
+    pub victim: u32,
+    /// Multi-plane copy groups (may be empty if the victim is all-invalid).
+    pub groups: Vec<CopyGroup>,
+    /// Every sub-block of the victim, to erase after the copies.
+    pub erases: Vec<BlockAddr>,
+    /// Total valid pages to move.
+    pub valid_pages: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_always_issues_on_all_channels() {
+        let p = GcPolicy::Parallel;
+        assert!(p.allows_issue(false, false));
+        assert!(p.allows_issue(true, true));
+        assert_eq!(p.channel_limit(8), 8);
+    }
+
+    #[test]
+    fn preemptive_yields_until_forced() {
+        let p = GcPolicy::Preemptive { hard_free_superblocks: 2 };
+        assert!(!p.allows_issue(false, false)); // host busy, not forced
+        assert!(p.allows_issue(true, false)); // host idle
+        assert!(p.allows_issue(false, true)); // forced
+        assert_eq!(p.channel_limit(8), 8);
+    }
+
+    #[test]
+    fn tinytail_limits_channels() {
+        let p = GcPolicy::TinyTail { concurrent_channels: 1 };
+        assert!(p.allows_issue(false, false));
+        assert_eq!(p.channel_limit(8), 1);
+        let wide = GcPolicy::TinyTail { concurrent_channels: 99 };
+        assert_eq!(wide.channel_limit(8), 8);
+        let zero = GcPolicy::TinyTail { concurrent_channels: 0 };
+        assert_eq!(zero.channel_limit(8), 1);
+    }
+}

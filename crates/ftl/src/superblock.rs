@@ -1,0 +1,187 @@
+//! Static superblock organization.
+
+use dssd_flash::{BlockAddr, DieAddr, FlashGeometry, PageAddr};
+
+/// The paper's *static* superblock: "the same block ID across multiple
+/// channels (or planes) is grouped together" (Sec 5.1). Superblock `s`
+/// consists of block `s` in every plane of every die of every
+/// channel/way, so there are exactly `geometry.blocks` superblocks.
+///
+/// Page *slots* inside a superblock are organized per die: die stripe
+/// index `d` (channel-major, so consecutive dies sit on consecutive
+/// channels) holds `planes × pages` slots, filled plane-major — slot `k`
+/// of a die is plane `k % planes`, page `k / planes`. A group of up to
+/// `planes` slots in one row therefore forms one multi-plane program.
+///
+/// # Example
+///
+/// ```
+/// use dssd_ftl::SuperblockLayout;
+/// use dssd_flash::FlashGeometry;
+///
+/// let geo = FlashGeometry::tiny();
+/// let sb = SuperblockLayout::new(geo);
+/// assert_eq!(sb.superblock_count(), geo.blocks);
+/// assert_eq!(sb.capacity_pages(),
+///            sb.stripe_dies() as u64 * sb.slots_per_die() as u64);
+/// let a = sb.page_at(0, 0, 0);
+/// assert_eq!((a.channel, a.plane, a.page), (0, 0, 0));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SuperblockLayout {
+    geometry: FlashGeometry,
+}
+
+impl SuperblockLayout {
+    /// Creates the layout for a geometry.
+    #[must_use]
+    pub fn new(geometry: FlashGeometry) -> Self {
+        SuperblockLayout { geometry }
+    }
+
+    /// The underlying geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geometry
+    }
+
+    /// Number of superblocks (= blocks per plane).
+    #[must_use]
+    pub fn superblock_count(&self) -> u32 {
+        self.geometry.blocks
+    }
+
+    /// Dies in a superblock's stripe.
+    #[must_use]
+    pub fn stripe_dies(&self) -> u32 {
+        (self.geometry.total_dies()) as u32
+    }
+
+    /// Page slots per die of the stripe (`planes × pages`).
+    #[must_use]
+    pub fn slots_per_die(&self) -> u32 {
+        self.geometry.planes * self.geometry.pages
+    }
+
+    /// Total page capacity of one superblock.
+    #[must_use]
+    pub fn capacity_pages(&self) -> u64 {
+        self.stripe_dies() as u64 * self.slots_per_die() as u64
+    }
+
+    /// The die at stripe index `d` (channel-major order).
+    #[must_use]
+    pub fn stripe_die(&self, d: u32) -> DieAddr {
+        let g = &self.geometry;
+        DieAddr {
+            channel: d % g.channels,
+            way: (d / g.channels) % g.ways,
+            die: d / (g.channels * g.ways),
+        }
+    }
+
+    /// The sub-blocks (one per plane of each die) of superblock `sb`.
+    pub fn sub_blocks(&self, sb: u32) -> impl Iterator<Item = BlockAddr> + '_ {
+        let g = self.geometry;
+        (0..self.stripe_dies()).flat_map(move |d| {
+            let die = self.stripe_die(d);
+            (0..g.planes).map(move |plane| BlockAddr {
+                channel: die.channel,
+                way: die.way,
+                die: die.die,
+                plane,
+                block: sb,
+            })
+        })
+    }
+
+    /// The physical page at slot `slot` of stripe die `d` in
+    /// superblock `sb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` or `d` is out of range.
+    #[must_use]
+    pub fn page_at(&self, sb: u32, d: u32, slot: u32) -> PageAddr {
+        assert!(slot < self.slots_per_die(), "slot {slot} out of range");
+        assert!(d < self.stripe_dies(), "stripe die {d} out of range");
+        let die = self.stripe_die(d);
+        PageAddr {
+            channel: die.channel,
+            way: die.way,
+            die: die.die,
+            plane: slot % self.geometry.planes,
+            block: sb,
+            page: slot / self.geometry.planes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let sb = SuperblockLayout::new(FlashGeometry::table1_ull());
+        assert_eq!(sb.superblock_count(), 1384);
+        assert_eq!(sb.stripe_dies(), 64);
+        assert_eq!(sb.slots_per_die(), 8 * 384);
+        assert_eq!(sb.capacity_pages(), 64 * 8 * 384);
+    }
+
+    #[test]
+    fn stripe_is_channel_major() {
+        let sb = SuperblockLayout::new(FlashGeometry::table1_ull());
+        assert_eq!(sb.stripe_die(0), DieAddr { channel: 0, way: 0, die: 0 });
+        assert_eq!(sb.stripe_die(1), DieAddr { channel: 1, way: 0, die: 0 });
+        assert_eq!(sb.stripe_die(8), DieAddr { channel: 0, way: 1, die: 0 });
+    }
+
+    #[test]
+    fn slots_are_plane_major() {
+        let sb = SuperblockLayout::new(FlashGeometry::tiny());
+        let a = sb.page_at(3, 0, 0);
+        let b = sb.page_at(3, 0, 1);
+        let c = sb.page_at(3, 0, 2);
+        assert_eq!((a.plane, a.page), (0, 0));
+        assert_eq!((b.plane, b.page), (1, 0));
+        assert_eq!((c.plane, c.page), (0, 1)); // next row
+        assert_eq!(a.block, 3);
+    }
+
+    #[test]
+    fn sub_blocks_cover_every_plane_once() {
+        let geo = FlashGeometry::tiny();
+        let sb = SuperblockLayout::new(geo);
+        let blocks: Vec<_> = sb.sub_blocks(2).collect();
+        assert_eq!(blocks.len(), geo.total_planes() as usize);
+        assert!(blocks.iter().all(|b| b.block == 2));
+        let mut planes: Vec<_> = blocks.iter().map(|b| b.plane_addr()).collect();
+        planes.sort();
+        planes.dedup();
+        assert_eq!(planes.len(), geo.total_planes() as usize);
+    }
+
+    #[test]
+    fn page_slots_cover_superblock_exactly() {
+        let geo = FlashGeometry::tiny();
+        let sb = SuperblockLayout::new(geo);
+        let mut seen = std::collections::HashSet::new();
+        for d in 0..sb.stripe_dies() {
+            for s in 0..sb.slots_per_die() {
+                let p = sb.page_at(1, d, s);
+                assert!(seen.insert(geo.page_index(p)), "duplicate slot");
+                assert_eq!(p.block, 1);
+            }
+        }
+        assert_eq!(seen.len() as u64, sb.capacity_pages());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_slot_panics() {
+        let sb = SuperblockLayout::new(FlashGeometry::tiny());
+        let _ = sb.page_at(0, 0, sb.slots_per_die());
+    }
+}

@@ -1,0 +1,44 @@
+//! Discrete-event simulation kernel for the dSSD reproduction.
+//!
+//! This crate provides the domain-independent substrate shared by every
+//! simulator in the workspace:
+//!
+//! * [`SimTime`] / [`SimSpan`] — nanosecond-resolution simulated time.
+//! * [`EventQueue`] — a deterministic future-event list with stable
+//!   (insertion-order) tie-breaking, so identical inputs always replay the
+//!   exact same schedule.
+//! * [`Rng`] — a small, seedable xoshiro256\*\* pseudo-random generator with
+//!   Gaussian sampling, so simulation results never depend on an external
+//!   RNG crate's version behaviour.
+//! * [`stats`] — streaming histograms with exact percentiles, windowed
+//!   bandwidth meters, busy-time utilization integrators and online means.
+//! * [`BandwidthServer`] — a FIFO bandwidth resource used to model the
+//!   system bus, DRAM, flash channel buses and the dedicated GC bus of the
+//!   paper's `dSSD_b` configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use dssd_kernel::{EventQueue, SimTime, SimSpan};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::ZERO + SimSpan::from_us(5), "second");
+//! q.push(SimTime::ZERO + SimSpan::from_us(1), "first");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "first");
+//! assert_eq!(t, SimTime::from_ns(1_000));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+mod rng;
+mod server;
+pub mod stats;
+mod time;
+
+pub use event::EventQueue;
+pub use rng::Rng;
+pub use server::{BandwidthServer, ServerStats, Transfer};
+pub use time::{SimSpan, SimTime};

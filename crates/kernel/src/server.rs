@@ -1,0 +1,290 @@
+//! FIFO bandwidth-server resource.
+
+use crate::{SimSpan, SimTime};
+
+/// The outcome of enqueueing a transfer on a [`BandwidthServer`]: when the
+/// transfer starts occupying the resource and when it completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// When the resource starts serving this transfer.
+    pub start: SimTime,
+    /// When the transfer completes (schedule your completion event here).
+    pub done: SimTime,
+}
+
+impl Transfer {
+    /// Time spent queued before service began (relative to the enqueue
+    /// instant passed to [`BandwidthServer::enqueue`]).
+    #[must_use]
+    pub fn wait_since(&self, enqueued: SimTime) -> SimSpan {
+        self.start.saturating_since(enqueued)
+    }
+
+    /// Time spent in service.
+    #[must_use]
+    pub fn service(&self) -> SimSpan {
+        self.done - self.start
+    }
+}
+
+/// Per-traffic-class accounting for a [`BandwidthServer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Transfers served.
+    pub items: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Total busy (service) time attributed to this class.
+    pub busy: SimSpan,
+}
+
+/// A FIFO bandwidth resource.
+///
+/// Models a bus, a DRAM port, or a flash channel: transfers are served one
+/// at a time in arrival order, each occupying the resource for
+/// `overhead + bytes / bandwidth`. Because all SSD data movement in this
+/// reproduction is page-granular (4 KB / 16 KB), FIFO service at item
+/// granularity is an accurate contention model — exactly the "bus
+/// structure … modeled for system-bus in SimpleSSD" of the paper's
+/// methodology.
+///
+/// The server is *passive*: it computes start/finish times analytically
+/// and never schedules events itself. Callers schedule a completion event
+/// at [`Transfer::done`].
+///
+/// # Example
+///
+/// ```
+/// use dssd_kernel::{BandwidthServer, SimSpan, SimTime};
+///
+/// // An 8 GB/s system bus with no per-item overhead.
+/// let mut bus = BandwidthServer::new(8_000_000_000, SimSpan::ZERO);
+/// let a = bus.enqueue(SimTime::ZERO, 4096, 0);
+/// let b = bus.enqueue(SimTime::ZERO, 4096, 0);
+/// assert_eq!(a.done.as_ns(), 512);      // 4 KiB at 8 GB/s
+/// assert_eq!(b.start, a.done);          // FIFO: b waits for a
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandwidthServer {
+    bytes_per_sec: u64,
+    overhead: SimSpan,
+    busy_until: SimTime,
+    classes: Vec<ServerStats>,
+}
+
+impl BandwidthServer {
+    /// Creates a server with the given bandwidth (bytes per second) and a
+    /// fixed per-item overhead (arbitration/protocol cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is zero.
+    #[must_use]
+    pub fn new(bytes_per_sec: u64, overhead: SimSpan) -> Self {
+        assert!(bytes_per_sec > 0, "bandwidth must be non-zero");
+        BandwidthServer {
+            bytes_per_sec,
+            overhead,
+            busy_until: SimTime::ZERO,
+            classes: Vec::new(),
+        }
+    }
+
+    /// The configured bandwidth in bytes per second.
+    #[must_use]
+    pub fn bytes_per_sec(&self) -> u64 {
+        self.bytes_per_sec
+    }
+
+    /// Enqueues a transfer of `bytes` arriving at `now`, attributed to
+    /// traffic class `class` (e.g. 0 = host I/O, 1 = garbage collection).
+    /// Returns when the transfer starts and completes.
+    pub fn enqueue(&mut self, now: SimTime, bytes: u64, class: usize) -> Transfer {
+        self.enqueue_extra(now, bytes, class, SimSpan::ZERO)
+    }
+
+    /// [`BandwidthServer::enqueue`] with additional per-item overhead on
+    /// top of the server's base overhead (e.g. firmware descriptor
+    /// management for individually-shepherded transfers).
+    pub fn enqueue_extra(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        class: usize,
+        extra: SimSpan,
+    ) -> Transfer {
+        let start = now.max(self.busy_until);
+        let service =
+            self.overhead + extra + SimSpan::for_transfer(bytes, self.bytes_per_sec);
+        let done = start + service;
+        self.busy_until = done;
+        if self.classes.len() <= class {
+            self.classes.resize(class + 1, ServerStats::default());
+        }
+        let c = &mut self.classes[class];
+        c.items += 1;
+        c.bytes += bytes;
+        c.busy += service;
+        Transfer { start, done }
+    }
+
+    /// How long a transfer arriving at `now` would wait before service.
+    #[must_use]
+    pub fn backlog(&self, now: SimTime) -> SimSpan {
+        self.busy_until.saturating_since(now)
+    }
+
+    /// The instant the server next becomes idle.
+    #[must_use]
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Accounting for one traffic class (zeros if never used).
+    #[must_use]
+    pub fn class_stats(&self, class: usize) -> ServerStats {
+        self.classes.get(class).copied().unwrap_or_default()
+    }
+
+    /// Total busy time across all classes.
+    #[must_use]
+    pub fn total_busy(&self) -> SimSpan {
+        self.classes.iter().map(|c| c.busy).sum()
+    }
+
+    /// Fraction of `elapsed` the server spent busy serving `class`.
+    /// Returns 0 when `elapsed` is zero.
+    #[must_use]
+    pub fn utilization(&self, class: usize, elapsed: SimSpan) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.class_stats(class).busy.as_ns() as f64 / elapsed.as_ns() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gbps(n: u64) -> u64 {
+        n * 1_000_000_000
+    }
+
+    #[test]
+    fn idle_server_serves_immediately() {
+        let mut s = BandwidthServer::new(gbps(1), SimSpan::ZERO);
+        let t = s.enqueue(SimTime::from_us(10), 4096, 0);
+        assert_eq!(t.start, SimTime::from_us(10));
+        assert_eq!(t.done, SimTime::from_us(10) + SimSpan::from_ns(4096));
+    }
+
+    #[test]
+    fn fifo_serializes_contending_transfers() {
+        let mut s = BandwidthServer::new(gbps(1), SimSpan::ZERO);
+        let a = s.enqueue(SimTime::ZERO, 4096, 0);
+        let b = s.enqueue(SimTime::ZERO, 4096, 1);
+        assert_eq!(b.start, a.done);
+        assert_eq!(b.done.as_ns(), 2 * 4096);
+        assert_eq!(b.wait_since(SimTime::ZERO), SimSpan::from_ns(4096));
+    }
+
+    #[test]
+    fn overhead_is_charged_per_item() {
+        let mut s = BandwidthServer::new(gbps(1), SimSpan::from_ns(100));
+        let a = s.enqueue(SimTime::ZERO, 1000, 0);
+        assert_eq!(a.service(), SimSpan::from_ns(1100));
+    }
+
+    #[test]
+    fn idle_gap_is_not_counted_busy() {
+        let mut s = BandwidthServer::new(gbps(1), SimSpan::ZERO);
+        s.enqueue(SimTime::ZERO, 1000, 0);
+        s.enqueue(SimTime::from_us(100), 1000, 0); // long idle gap
+        assert_eq!(s.total_busy(), SimSpan::from_ns(2000));
+        let u = s.utilization(0, SimSpan::from_us(101));
+        assert!(u < 0.001 + 2000.0 / 101_000.0);
+    }
+
+    #[test]
+    fn class_attribution() {
+        let mut s = BandwidthServer::new(gbps(1), SimSpan::ZERO);
+        s.enqueue(SimTime::ZERO, 1000, 0);
+        s.enqueue(SimTime::ZERO, 3000, 1);
+        assert_eq!(s.class_stats(0).bytes, 1000);
+        assert_eq!(s.class_stats(1).bytes, 3000);
+        assert_eq!(s.class_stats(1).items, 1);
+        assert_eq!(s.class_stats(7), ServerStats::default());
+    }
+
+    #[test]
+    fn backlog_reflects_queue() {
+        let mut s = BandwidthServer::new(gbps(1), SimSpan::ZERO);
+        assert!(s.backlog(SimTime::ZERO).is_zero());
+        s.enqueue(SimTime::ZERO, 10_000, 0);
+        assert_eq!(s.backlog(SimTime::ZERO), SimSpan::from_ns(10_000));
+        assert!(s.backlog(SimTime::from_us(20)).is_zero());
+    }
+
+    #[test]
+    fn throughput_matches_bandwidth_under_saturation() {
+        let mut s = BandwidthServer::new(gbps(8), SimSpan::ZERO);
+        let mut done = SimTime::ZERO;
+        let n = 10_000u64;
+        for _ in 0..n {
+            done = s.enqueue(SimTime::ZERO, 4096, 0).done;
+        }
+        let achieved = (n * 4096) as f64 / done.as_secs_f64();
+        let rel = (achieved - 8e9).abs() / 8e9;
+        assert!(rel < 0.01, "achieved {achieved}");
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Service intervals never overlap, never start before arrival,
+        /// and preserve FIFO order; accounting matches exactly.
+        #[test]
+        fn fifo_invariants(
+            arrivals in proptest::collection::vec((0u64..10_000, 1u64..100_000), 1..100),
+        ) {
+            let mut s = BandwidthServer::new(1_000_000_000, SimSpan::from_ns(7));
+            let mut arrivals = arrivals;
+            arrivals.sort();
+            let mut prev_done = SimTime::ZERO;
+            let mut total_bytes = 0u64;
+            let mut total_busy = SimSpan::ZERO;
+            for &(at, bytes) in &arrivals {
+                let t = s.enqueue(SimTime::from_ns(at), bytes, 0);
+                prop_assert!(t.start >= SimTime::from_ns(at), "service before arrival");
+                prop_assert!(t.start >= prev_done, "overlapping service");
+                prop_assert!(t.done > t.start);
+                prev_done = t.done;
+                total_bytes += bytes;
+                total_busy += t.service();
+            }
+            let stats = s.class_stats(0);
+            prop_assert_eq!(stats.bytes, total_bytes);
+            prop_assert_eq!(stats.items, arrivals.len() as u64);
+            prop_assert_eq!(stats.busy, total_busy);
+            prop_assert_eq!(s.busy_until(), prev_done);
+        }
+
+        /// `enqueue_extra` only ever lengthens service, monotonically.
+        #[test]
+        fn extra_overhead_is_additive(bytes in 1u64..100_000, extra in 0u64..10_000) {
+            let mut a = BandwidthServer::new(2_000_000_000, SimSpan::from_ns(5));
+            let mut b = BandwidthServer::new(2_000_000_000, SimSpan::from_ns(5));
+            let ta = a.enqueue(SimTime::ZERO, bytes, 0);
+            let tb = b.enqueue_extra(SimTime::ZERO, bytes, 0, SimSpan::from_ns(extra));
+            prop_assert_eq!(
+                tb.service().as_ns(),
+                ta.service().as_ns() + extra
+            );
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Measurement instruments: histograms, bandwidth meters, utilization
+//! meters and online means.
+//!
+//! These are the instruments every experiment binary uses to produce the
+//! paper's figures: latency percentiles (tail latency, Figs 10–11),
+//! millisecond-binned bandwidth timelines (Fig 2), and busy-time
+//! utilization split by traffic class (Figs 2c/2d, 7b).
+
+use crate::{SimSpan, SimTime};
+
+/// An exact-percentile histogram of [`SimSpan`] samples.
+///
+/// Samples are stored raw (nanoseconds) and sorted lazily, so percentiles
+/// are exact rather than bucketed — important for the paper's 99th- and
+/// 99.99th-percentile tail-latency comparisons where bucketing error would
+/// distort multi-10× ratios.
+///
+/// # Example
+///
+/// ```
+/// use dssd_kernel::stats::Histogram;
+/// use dssd_kernel::SimSpan;
+///
+/// let mut h = Histogram::new();
+/// for us in 1..=100 {
+///     h.record(SimSpan::from_us(us));
+/// }
+/// assert_eq!(h.percentile(0.99), SimSpan::from_us(99));
+/// assert_eq!(h.max(), SimSpan::from_us(100));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: SimSpan) {
+        self.samples.push(sample.as_ns());
+        self.sum += sample.as_ns() as u128;
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of all samples ([`SimSpan::ZERO`] when empty).
+    #[must_use]
+    pub fn mean(&self) -> SimSpan {
+        if self.samples.is_empty() {
+            return SimSpan::ZERO;
+        }
+        SimSpan::from_ns((self.sum / self.samples.len() as u128) as u64)
+    }
+
+    /// The exact `p`-quantile (`p` in `[0, 1]`), using the nearest-rank
+    /// method. Returns [`SimSpan::ZERO`] when empty.
+    pub fn percentile(&mut self, p: f64) -> SimSpan {
+        if self.samples.is_empty() {
+            return SimSpan::ZERO;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * self.samples.len() as f64).ceil() as usize).max(1);
+        SimSpan::from_ns(self.samples[rank - 1])
+    }
+
+    /// Largest sample ([`SimSpan::ZERO`] when empty).
+    #[must_use]
+    pub fn max(&self) -> SimSpan {
+        SimSpan::from_ns(self.samples.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Smallest sample ([`SimSpan::ZERO`] when empty).
+    #[must_use]
+    pub fn min(&self) -> SimSpan {
+        SimSpan::from_ns(self.samples.iter().copied().min().unwrap_or(0))
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sum += other.sum;
+        self.sorted = false;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+}
+
+/// A windowed byte-throughput meter.
+///
+/// Bytes are accumulated into fixed-width time bins (the paper measures
+/// I/O bandwidth every 1 ms for Fig 2); the series can then be read back
+/// as bytes-per-second per bin.
+///
+/// # Example
+///
+/// ```
+/// use dssd_kernel::stats::BandwidthMeter;
+/// use dssd_kernel::{SimSpan, SimTime};
+///
+/// let mut m = BandwidthMeter::new(SimSpan::from_ms(1));
+/// m.record(SimTime::from_us(100), 1_000_000);
+/// m.record(SimTime::from_us(1_500), 2_000_000);
+/// let series = m.series();
+/// assert_eq!(series.len(), 2);
+/// assert!((series[0].1 - 1e9).abs() < 1.0); // 1 MB in 1 ms = 1 GB/s
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandwidthMeter {
+    window: SimSpan,
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl BandwidthMeter {
+    /// Creates a meter with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: SimSpan) -> Self {
+        assert!(!window.is_zero(), "window must be non-zero");
+        BandwidthMeter {
+            window,
+            bins: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Credits `bytes` of completed transfer at time `at`.
+    pub fn record(&mut self, at: SimTime, bytes: u64) {
+        let bin = (at.as_ns() / self.window.as_ns()) as usize;
+        if self.bins.len() <= bin {
+            self.bins.resize(bin + 1, 0);
+        }
+        self.bins[bin] += bytes;
+        self.total += bytes;
+    }
+
+    /// Total bytes recorded.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+
+    /// The bin width.
+    #[must_use]
+    pub fn window(&self) -> SimSpan {
+        self.window
+    }
+
+    /// The timeline as `(bin start, bytes per second)` pairs.
+    #[must_use]
+    pub fn series(&self) -> Vec<(SimTime, f64)> {
+        let w = self.window.as_secs_f64();
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (SimTime::from_ns(i as u64 * self.window.as_ns()), b as f64 / w))
+            .collect()
+    }
+
+    /// Mean bytes-per-second over `elapsed` (0 when `elapsed` is zero).
+    #[must_use]
+    pub fn mean_rate(&self, elapsed: SimSpan) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.total as f64 / elapsed.as_secs_f64()
+    }
+}
+
+/// A windowed busy-time integrator.
+///
+/// Busy intervals (e.g. bus occupancy) are accumulated into fixed-width
+/// time bins, correctly splitting intervals that span bin boundaries, so
+/// utilization timelines like Fig 2(c,d) can be produced.
+///
+/// # Example
+///
+/// ```
+/// use dssd_kernel::stats::UtilizationMeter;
+/// use dssd_kernel::{SimSpan, SimTime};
+///
+/// let mut m = UtilizationMeter::new(SimSpan::from_ms(1));
+/// // busy from 0.5 ms to 1.5 ms: 50% of each of the first two bins
+/// m.record_busy(SimTime::from_us(500), SimTime::from_us(1_500));
+/// let u = m.series();
+/// assert!((u[0].1 - 0.5).abs() < 1e-9);
+/// assert!((u[1].1 - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UtilizationMeter {
+    window: SimSpan,
+    bins: Vec<u64>,
+    total_busy: SimSpan,
+}
+
+impl UtilizationMeter {
+    /// Creates a meter with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: SimSpan) -> Self {
+        assert!(!window.is_zero(), "window must be non-zero");
+        UtilizationMeter {
+            window,
+            bins: Vec::new(),
+            total_busy: SimSpan::ZERO,
+        }
+    }
+
+    /// Records a busy interval `[start, end)`, splitting it across bins.
+    pub fn record_busy(&mut self, start: SimTime, end: SimTime) {
+        if end <= start {
+            return;
+        }
+        self.total_busy += end - start;
+        let w = self.window.as_ns();
+        let mut cur = start.as_ns();
+        let end = end.as_ns();
+        while cur < end {
+            let bin = (cur / w) as usize;
+            let bin_end = (cur / w + 1) * w;
+            let seg_end = bin_end.min(end);
+            if self.bins.len() <= bin {
+                self.bins.resize(bin + 1, 0);
+            }
+            self.bins[bin] += seg_end - cur;
+            cur = seg_end;
+        }
+    }
+
+    /// Total busy time recorded.
+    #[must_use]
+    pub fn total_busy(&self) -> SimSpan {
+        self.total_busy
+    }
+
+    /// The timeline as `(bin start, utilization in [0,1])` pairs.
+    #[must_use]
+    pub fn series(&self) -> Vec<(SimTime, f64)> {
+        let w = self.window.as_ns() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (SimTime::from_ns(i as u64 * self.window.as_ns()), b as f64 / w))
+            .collect()
+    }
+
+    /// Mean utilization over `elapsed` (0 when `elapsed` is zero).
+    #[must_use]
+    pub fn mean(&self, elapsed: SimSpan) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.total_busy.as_ns() as f64 / elapsed.as_ns() as f64
+    }
+}
+
+/// A numerically simple online mean/min/max accumulator for `f64` series.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineMean {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineMean {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        OnlineMean::default()
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        self.sum += x;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_exact() {
+        let mut h = Histogram::new();
+        for us in (1..=1000).rev() {
+            h.record(SimSpan::from_us(us));
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.percentile(0.50), SimSpan::from_us(500));
+        assert_eq!(h.percentile(0.99), SimSpan::from_us(990));
+        assert_eq!(h.percentile(1.0), SimSpan::from_us(1000));
+        assert_eq!(h.percentile(0.0), SimSpan::from_us(1));
+        assert_eq!(h.min(), SimSpan::from_us(1));
+        assert_eq!(h.max(), SimSpan::from_us(1000));
+    }
+
+    #[test]
+    fn histogram_single_sample() {
+        let mut h = Histogram::new();
+        h.record(SimSpan::from_us(7));
+        assert_eq!(h.percentile(0.5), SimSpan::from_us(7));
+        assert_eq!(h.mean(), SimSpan::from_us(7));
+    }
+
+    #[test]
+    fn histogram_empty_is_zeroes() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.99), SimSpan::ZERO);
+        assert_eq!(h.mean(), SimSpan::ZERO);
+        assert_eq!(h.max(), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(SimSpan::from_us(1));
+        b.record(SimSpan::from_us(3));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), SimSpan::from_us(2));
+    }
+
+    #[test]
+    fn histogram_interleaves_record_and_percentile() {
+        let mut h = Histogram::new();
+        h.record(SimSpan::from_us(10));
+        assert_eq!(h.percentile(1.0), SimSpan::from_us(10));
+        h.record(SimSpan::from_us(20));
+        assert_eq!(h.percentile(1.0), SimSpan::from_us(20));
+    }
+
+    #[test]
+    fn bandwidth_meter_bins_and_totals() {
+        let mut m = BandwidthMeter::new(SimSpan::from_ms(1));
+        m.record(SimTime::from_us(10), 100);
+        m.record(SimTime::from_us(999), 100);
+        m.record(SimTime::from_us(1000), 100);
+        assert_eq!(m.total_bytes(), 300);
+        let s = m.series();
+        assert_eq!(s.len(), 2);
+        assert!((s[0].1 - 200_000.0).abs() < 1e-6);
+        assert!((s[1].1 - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bandwidth_meter_mean_rate() {
+        let mut m = BandwidthMeter::new(SimSpan::from_ms(1));
+        m.record(SimTime::from_us(1), 8_000);
+        assert!((m.mean_rate(SimSpan::from_us(1_000)) - 8e6).abs() < 1.0);
+        assert_eq!(m.mean_rate(SimSpan::ZERO), 0.0);
+    }
+
+    #[test]
+    fn utilization_meter_splits_across_bins() {
+        let mut m = UtilizationMeter::new(SimSpan::from_us(10));
+        m.record_busy(SimTime::from_us(5), SimTime::from_us(25));
+        let s = m.series();
+        assert_eq!(s.len(), 3);
+        assert!((s[0].1 - 0.5).abs() < 1e-12);
+        assert!((s[1].1 - 1.0).abs() < 1e-12);
+        assert!((s[2].1 - 0.5).abs() < 1e-12);
+        assert_eq!(m.total_busy(), SimSpan::from_us(20));
+    }
+
+    #[test]
+    fn utilization_meter_ignores_empty_interval() {
+        let mut m = UtilizationMeter::new(SimSpan::from_us(10));
+        m.record_busy(SimTime::from_us(5), SimTime::from_us(5));
+        assert_eq!(m.total_busy(), SimSpan::ZERO);
+        assert!(m.series().is_empty());
+    }
+
+    #[test]
+    fn online_mean_tracks_extremes() {
+        let mut m = OnlineMean::new();
+        for x in [3.0, -1.0, 7.0] {
+            m.record(x);
+        }
+        assert_eq!(m.count(), 3);
+        assert!((m.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(m.min(), -1.0);
+        assert_eq!(m.max(), 7.0);
+    }
+}

@@ -1,0 +1,759 @@
+//! The flit-level network engine.
+//!
+//! Routers are input-buffered with virtual channels (VCs) and
+//! credit-based flow control; switching is wormhole (a packet holds its
+//! output VC from head to tail). Two VCs with a dateline discipline make
+//! the ring topology deadlock-free; the 1-D mesh and star are acyclic and
+//! need only one, but run the same machinery for uniformity.
+
+use std::collections::{HashMap, VecDeque};
+
+use dssd_kernel::{EventQueue, SimSpan, SimTime};
+
+use crate::packet::{flit_count, flit_kind, PacketState};
+use crate::stats::NocStats;
+use crate::topology::PortLink;
+use crate::{Flit, NocConfig, Packet, PacketId, Topology};
+
+/// Number of virtual channels per input port.
+const VCS: usize = 2;
+
+/// Internal network event. Opaque to embedders: produce them with
+/// [`Network::inject`], feed them back through [`Network::handle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NocEvent {
+    /// A flit finished traversing a link and lands in an input buffer.
+    FlitArrive {
+        /// Receiving node.
+        node: usize,
+        /// Input port at the receiving node.
+        in_port: usize,
+        /// Virtual channel at the receiving input.
+        vc: usize,
+        /// The flit.
+        flit: Flit,
+    },
+    /// An output link finished serializing a flit.
+    OutputFree {
+        /// Node owning the output.
+        node: usize,
+        /// Output port index.
+        out_port: usize,
+    },
+    /// A downstream buffer slot was freed.
+    Credit {
+        /// Node owning the output the credit belongs to.
+        node: usize,
+        /// Output port index.
+        out_port: usize,
+        /// Virtual channel the credit replenishes.
+        vc: usize,
+    },
+    /// A flit left the network through a local (ejection) port.
+    Eject {
+        /// Ejecting node.
+        node: usize,
+        /// The flit.
+        flit: Flit,
+    },
+}
+
+/// A packet that completed delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivered {
+    /// The packet.
+    pub packet: Packet,
+    /// When its tail flit ejected.
+    pub at: SimTime,
+    /// Links traversed by the head flit.
+    pub hops: u32,
+    /// When it was injected.
+    pub injected_at: SimTime,
+}
+
+impl Delivered {
+    /// Injection-to-ejection latency.
+    #[must_use]
+    pub fn latency(&self) -> SimSpan {
+        self.at - self.injected_at
+    }
+}
+
+/// The result of one [`Network::handle`] or [`Network::inject`] call.
+#[derive(Debug, Default)]
+pub struct Step {
+    /// Packets fully delivered by this step.
+    pub delivered: Vec<Delivered>,
+    /// Events the embedder must schedule.
+    pub schedule: Vec<(SimTime, NocEvent)>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct VcBuffer {
+    flits: VecDeque<Flit>,
+    /// Output (port, vc) allocated to the packet currently flowing
+    /// through this input VC (set at head, cleared after tail).
+    alloc: Option<(usize, usize)>,
+}
+
+#[derive(Debug, Clone)]
+struct InputPort {
+    vcs: Vec<VcBuffer>,
+}
+
+#[derive(Debug, Clone)]
+struct OutputPort {
+    link: PortLink,
+    /// False while the link serializes a flit.
+    free: bool,
+    /// Accumulated serialization time on this link.
+    busy: SimSpan,
+    /// Credits per downstream VC (usize::MAX for ejection ports).
+    credits: Vec<usize>,
+    /// Which input (port, vc) currently owns each output VC.
+    owner: Vec<Option<(usize, usize)>>,
+    /// Round-robin pointer over (in_port, vc) candidates.
+    rr: usize,
+}
+
+#[derive(Debug, Clone)]
+struct RouterNode {
+    inputs: Vec<InputPort>,
+    outputs: Vec<OutputPort>,
+}
+
+/// The fNoC: a set of routers plus per-packet bookkeeping.
+///
+/// See the [crate documentation](crate) for the modeling overview and an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct Network {
+    config: NocConfig,
+    topology: Topology,
+    nodes: Vec<RouterNode>,
+    /// Reverse map: (node, in_port) -> (upstream node, upstream out_port).
+    upstream: HashMap<(usize, usize), (usize, usize)>,
+    packets: HashMap<PacketId, PacketState>,
+    stats: NocStats,
+    in_flight: usize,
+}
+
+impl Network {
+    /// Builds an idle network from a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has fewer than two terminals.
+    #[must_use]
+    pub fn new(config: NocConfig) -> Self {
+        assert!(
+            config.link_bytes_per_sec > 0,
+            "link bandwidth must be non-zero (0 is the embedder's \"derive\" sentinel)"
+        );
+        let topology = Topology::build(config.topology, config.terminals);
+        let mut upstream = HashMap::new();
+        for n in 0..topology.nodes() {
+            for p in 0..topology.ports(n) {
+                if let PortLink::Link { peer, peer_in } = topology.output(n, p) {
+                    upstream.insert((peer, peer_in), (n, p));
+                }
+            }
+        }
+        let nodes = (0..topology.nodes())
+            .map(|n| {
+                let ports = topology.ports(n);
+                RouterNode {
+                    inputs: (0..ports)
+                        .map(|_| InputPort {
+                            vcs: (0..VCS).map(|_| VcBuffer::default()).collect(),
+                        })
+                        .collect(),
+                    outputs: (0..ports)
+                        .map(|p| {
+                            let link = topology.output(n, p);
+                            let credits = match link {
+                                PortLink::Local => vec![usize::MAX; VCS],
+                                PortLink::Link { .. } => {
+                                    vec![config.input_buffer_flits; VCS]
+                                }
+                            };
+                            OutputPort {
+                                link,
+                                free: true,
+                                busy: SimSpan::ZERO,
+                                credits,
+                                owner: vec![None; VCS],
+                                rr: 0,
+                            }
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        Network {
+            config,
+            topology,
+            nodes,
+            upstream,
+            packets: HashMap::new(),
+            stats: NocStats::default(),
+            in_flight: 0,
+        }
+    }
+
+    /// The network configuration.
+    #[must_use]
+    pub fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    /// The built topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Measurement counters.
+    #[must_use]
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Number of packets injected but not yet fully ejected.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// True if nothing is buffered or in flight.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.in_flight == 0
+    }
+
+    /// Accumulated serialization time of the link behind output `port`
+    /// of `node` (zero for the local/ejection port's NI time included).
+    #[must_use]
+    pub fn link_busy(&self, node: usize, port: usize) -> SimSpan {
+        self.nodes[node].outputs[port].busy
+    }
+
+    /// The most-utilized link's busy fraction over `elapsed` — the
+    /// quantity that saturates first as offered load approaches the
+    /// bisection limit (Fig 12's mechanism).
+    #[must_use]
+    pub fn max_link_utilization(&self, elapsed: SimSpan) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.nodes
+            .iter()
+            .flat_map(|n| n.outputs.iter())
+            .filter(|o| matches!(o.link, PortLink::Link { .. }))
+            .map(|o| o.busy.as_ns() as f64 / elapsed.as_ns() as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// Compact diagnostic of in-flight state: stuck packets and every
+    /// non-empty buffer / busy output. For debugging embedders.
+    #[must_use]
+    pub fn debug_state(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (id, st) in &self.packets {
+            let _ = writeln!(
+                s,
+                "packet {id}: {}->{} flits_remaining={} hops={}",
+                st.packet.src, st.packet.dst, st.flits_remaining, st.hops
+            );
+        }
+        for (n, node) in self.nodes.iter().enumerate() {
+            for (ip, input) in node.inputs.iter().enumerate() {
+                for (vc, buf) in input.vcs.iter().enumerate() {
+                    if !buf.flits.is_empty() || buf.alloc.is_some() {
+                        let _ = writeln!(
+                            s,
+                            "node {n} in {ip} vc {vc}: {} flits (front {:?}), alloc {:?}",
+                            buf.flits.len(),
+                            buf.flits.front().map(|f| (f.packet, f.kind)),
+                            buf.alloc
+                        );
+                    }
+                }
+            }
+            for (op, out) in node.outputs.iter().enumerate() {
+                let owned: Vec<_> =
+                    out.owner.iter().enumerate().filter(|(_, o)| o.is_some()).collect();
+                if !out.free || !owned.is_empty() {
+                    let _ = writeln!(
+                        s,
+                        "node {n} out {op}: free={} credits={:?} owners={:?}",
+                        out.free, out.credits, owned
+                    );
+                }
+            }
+        }
+        s
+    }
+
+    /// Injects a packet at its source terminal at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if src/dst are not terminals or the packet id was already
+    /// injected and is still in flight.
+    pub fn inject(&mut self, now: SimTime, packet: Packet) -> Step {
+        assert!(
+            packet.src < self.topology.terminals(),
+            "source {} is not a terminal",
+            packet.src
+        );
+        assert!(
+            packet.dst < self.topology.terminals(),
+            "destination {} is not a terminal",
+            packet.dst
+        );
+        let n = flit_count(packet.bytes, self.config.header_bytes, self.config.flit_bytes);
+        let prev = self.packets.insert(
+            packet.id,
+            PacketState {
+                packet,
+                injected_at: now,
+                flits_remaining: n,
+                hops: 0,
+            },
+        );
+        assert!(prev.is_none(), "packet id {} already in flight", packet.id);
+        self.in_flight += 1;
+        self.stats.injected += 1;
+
+        // Flits enter the local input port (port 0), VC 0. The injection
+        // buffer is unbounded: back-pressure is applied by the network,
+        // not the NI.
+        let buf = &mut self.nodes[packet.src].inputs[0].vcs[0];
+        for i in 0..n {
+            buf.flits.push_back(Flit {
+                packet: packet.id,
+                dst: packet.dst,
+                kind: flit_kind(i, n),
+            });
+        }
+        let mut step = Step::default();
+        self.try_node(now, packet.src, &mut step);
+        step
+    }
+
+    /// Advances the network by one event.
+    pub fn handle(&mut self, now: SimTime, event: NocEvent) -> Step {
+        let mut step = Step::default();
+        match event {
+            NocEvent::FlitArrive { node, in_port, vc, flit } => {
+                let buf = &mut self.nodes[node].inputs[in_port].vcs[vc];
+                debug_assert!(
+                    buf.flits.len() < self.config.input_buffer_flits,
+                    "credit protocol violated: buffer overflow at {node}:{in_port}:{vc}"
+                );
+                buf.flits.push_back(flit);
+                self.try_node(now, node, &mut step);
+            }
+            NocEvent::OutputFree { node, out_port } => {
+                self.nodes[node].outputs[out_port].free = true;
+                // Retry every output: the flit that just finished may have
+                // uncovered a new head flit (at the front of the same
+                // input buffer) that routes to a *different* output, which
+                // would otherwise never be woken.
+                self.try_node(now, node, &mut step);
+            }
+            NocEvent::Credit { node, out_port, vc } => {
+                let c = &mut self.nodes[node].outputs[out_port].credits[vc];
+                if *c != usize::MAX {
+                    *c += 1;
+                }
+                self.try_node(now, node, &mut step);
+            }
+            NocEvent::Eject { node, flit } => {
+                self.eject(now, node, flit, &mut step);
+            }
+        }
+        step
+    }
+
+    fn eject(&mut self, now: SimTime, _node: usize, flit: Flit, step: &mut Step) {
+        let state = self
+            .packets
+            .get_mut(&flit.packet)
+            .expect("ejected flit for unknown packet");
+        state.flits_remaining -= 1;
+        if state.flits_remaining == 0 {
+            let state = self.packets.remove(&flit.packet).unwrap();
+            self.in_flight -= 1;
+            let d = Delivered {
+                packet: state.packet,
+                at: now,
+                hops: state.hops,
+                injected_at: state.injected_at,
+            };
+            self.stats.record_delivery(&d);
+            step.delivered.push(d);
+        }
+    }
+
+    /// Try to make progress on every output of `node`.
+    fn try_node(&mut self, now: SimTime, node: usize, step: &mut Step) {
+        for out in 0..self.nodes[node].outputs.len() {
+            self.try_output(now, node, out, step);
+        }
+    }
+
+    /// The downstream VC a head flit must use when leaving `node` through
+    /// `out` while currently sitting on `vc` — the ring dateline rule
+    /// (packets crossing the wrap link move to VC 1).
+    fn next_vc(&self, node: usize, out: usize, vc: usize) -> usize {
+        if self.config.topology != crate::TopologyKind::Ring {
+            return vc;
+        }
+        let k = self.topology.terminals();
+        match self.topology.output(node, out) {
+            // Right wrap: k-1 -> 0; left wrap: 0 -> k-1.
+            PortLink::Link { peer, .. }
+                if (node == k - 1 && peer == 0 && out == 2)
+                    || (node == 0 && peer == k - 1 && out == 1) =>
+            {
+                1
+            }
+            _ => vc,
+        }
+    }
+
+    /// Attempt to send one flit through `(node, out)`.
+    fn try_output(&mut self, now: SimTime, node: usize, out: usize, step: &mut Step) {
+        if !self.nodes[node].outputs[out].free {
+            return;
+        }
+        let n_inputs = self.nodes[node].inputs.len();
+        let slots = n_inputs * VCS;
+
+        // Collect the (in_port, vc, downstream_vc) candidate, honoring
+        // round-robin order.
+        let rr = self.nodes[node].outputs[out].rr;
+        let mut chosen: Option<(usize, usize, usize)> = None;
+        for off in 0..slots {
+            let slot = (rr + off) % slots;
+            let (ip, vc) = (slot / VCS, slot % VCS);
+            let front = match self.nodes[node].inputs[ip].vcs[vc].flits.front() {
+                Some(f) => *f,
+                None => continue,
+            };
+            let alloc = self.nodes[node].inputs[ip].vcs[vc].alloc;
+            match alloc {
+                // Mid-packet: must continue on its allocated output VC.
+                Some((o, ovc)) if o == out => {
+                    if self.credit_ok(node, out, ovc) {
+                        chosen = Some((ip, vc, ovc));
+                    }
+                }
+                Some(_) => {}
+                // Head flit: needs routing + output VC allocation.
+                None => {
+                    debug_assert!(front.kind.is_head(), "unallocated non-head at front");
+                    if self.topology.route(node, front.dst) != out {
+                        continue;
+                    }
+                    let ovc = self.next_vc(node, out, vc);
+                    let owner = self.nodes[node].outputs[out].owner[ovc];
+                    if owner.is_none() && self.credit_ok(node, out, ovc) {
+                        chosen = Some((ip, vc, ovc));
+                    }
+                }
+            }
+            if chosen.is_some() {
+                self.nodes[node].outputs[out].rr = (slot + 1) % slots;
+                break;
+            }
+        }
+        let Some((ip, vc, ovc)) = chosen else { return };
+
+        // Dequeue and update wormhole state.
+        let flit = self.nodes[node].inputs[ip].vcs[vc]
+            .flits
+            .pop_front()
+            .expect("candidate had empty buffer");
+        if flit.kind.is_head() {
+            self.nodes[node].outputs[out].owner[ovc] = Some((ip, vc));
+            self.nodes[node].inputs[ip].vcs[vc].alloc = Some((out, ovc));
+        }
+        if flit.kind.is_tail() {
+            self.nodes[node].outputs[out].owner[ovc] = None;
+            self.nodes[node].inputs[ip].vcs[vc].alloc = None;
+        }
+
+        // Consume a downstream credit.
+        let credits = &mut self.nodes[node].outputs[out].credits[ovc];
+        if *credits != usize::MAX {
+            debug_assert!(*credits > 0);
+            *credits -= 1;
+        }
+
+        // Return a credit upstream for the slot we just freed (injection
+        // buffers have no upstream).
+        if let Some(&(up, up_out)) = self.upstream.get(&(node, ip)) {
+            step.schedule.push((
+                now + self.config.router_latency,
+                NocEvent::Credit { node: up, out_port: up_out, vc },
+            ));
+        }
+
+        // Serialize over the link.
+        let ser = SimSpan::for_transfer(
+            self.config.flit_bytes as u64,
+            self.config.link_bytes_per_sec,
+        );
+        self.nodes[node].outputs[out].free = false;
+        self.nodes[node].outputs[out].busy += ser;
+        step.schedule
+            .push((now + ser, NocEvent::OutputFree { node, out_port: out }));
+        self.stats.flit_hops += 1;
+
+        match self.nodes[node].outputs[out].link {
+            PortLink::Local => {
+                step.schedule.push((now + ser, NocEvent::Eject { node, flit }));
+            }
+            PortLink::Link { peer, peer_in } => {
+                if flit.kind.is_head() {
+                    if let Some(state) = self.packets.get_mut(&flit.packet) {
+                        state.hops += 1;
+                    }
+                }
+                step.schedule.push((
+                    now + ser + self.config.router_latency,
+                    NocEvent::FlitArrive { node: peer, in_port: peer_in, vc: ovc, flit },
+                ));
+            }
+        }
+    }
+
+    fn credit_ok(&self, node: usize, out: usize, ovc: usize) -> bool {
+        self.nodes[node].outputs[out].credits[ovc] > 0
+    }
+}
+
+/// Runs a self-contained simulation: injects `packets` at their times and
+/// processes events until the network drains. Returns deliveries in
+/// completion order.
+///
+/// This helper is for standalone NoC studies and tests; the SSD simulator
+/// embeds [`Network`] in its own event loop instead.
+pub fn drive(net: &mut Network, packets: Vec<(SimTime, Packet)>) -> Vec<Delivered> {
+    #[derive(Debug)]
+    enum Ev {
+        Inject(Packet),
+        Noc(NocEvent),
+    }
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    for (t, p) in packets {
+        queue.push(t, Ev::Inject(p));
+    }
+    let mut out = Vec::new();
+    while let Some((now, ev)) = queue.pop() {
+        let step = match ev {
+            Ev::Inject(p) => net.inject(now, p),
+            Ev::Noc(e) => net.handle(now, e),
+        };
+        out.extend(step.delivered);
+        for (t, e) in step.schedule {
+            queue.push(t, Ev::Noc(e));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{schedule, Pattern};
+    use crate::TopologyKind;
+    use dssd_kernel::Rng;
+
+    fn cfg(kind: TopologyKind, k: usize) -> NocConfig {
+        NocConfig::new(kind, k)
+    }
+
+    #[test]
+    fn delivers_one_packet() {
+        let mut net = Network::new(cfg(TopologyKind::Mesh1D, 8));
+        let got = drive(&mut net, vec![(SimTime::ZERO, Packet::new(0, 0, 7, 4096))]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].packet.dst, 7);
+        assert_eq!(got[0].hops, 7);
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn latency_reflects_serialization_and_hops() {
+        // One 4 KB packet, 1 GB/s links, 32 B flits, 16 B header:
+        // 129 flits. Wormhole: total ≈ (hops+1) * (flit_ser + router)
+        // + (flits-1) * flit_ser for the body pipeline.
+        let c = cfg(TopologyKind::Mesh1D, 8);
+        let mut net = Network::new(c);
+        let got = drive(&mut net, vec![(SimTime::ZERO, Packet::new(0, 0, 1, 4096))]);
+        let flits = (4096u64 + 16).div_ceil(32);
+        let ser = 32; // ns per flit at 1 GB/s
+        // Head: inject->link->eject = 2 sends w/ router latency between.
+        let lower = (flits - 1) * ser + 2 * ser;
+        let upper = lower + 100; // router latencies and rounding
+        let l = got[0].latency().as_ns();
+        assert!(l >= lower && l <= upper, "latency {l}, expected ~[{lower},{upper}]");
+    }
+
+    #[test]
+    fn self_send_is_delivered_locally() {
+        let mut net = Network::new(cfg(TopologyKind::Mesh1D, 4));
+        let got = drive(&mut net, vec![(SimTime::ZERO, Packet::new(0, 2, 2, 4096))]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].hops, 0);
+    }
+
+    #[test]
+    fn same_flow_packets_stay_ordered() {
+        let mut net = Network::new(cfg(TopologyKind::Mesh1D, 8));
+        let pkts: Vec<_> = (0..20)
+            .map(|i| (SimTime::from_ns(i), Packet::new(i, 0, 7, 4096)))
+            .collect();
+        let got = drive(&mut net, pkts);
+        assert_eq!(got.len(), 20);
+        let ids: Vec<u64> = got.iter().map(|d| d.packet.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "same src->dst flow must not reorder");
+    }
+
+    #[test]
+    fn all_topologies_deliver_uniform_random_load() {
+        for kind in [TopologyKind::Mesh1D, TopologyKind::Ring, TopologyKind::Crossbar] {
+            let mut rng = Rng::new(11);
+            let pkts = schedule(8, Pattern::UniformRandom, 40_000_000, 4096,
+                                SimSpan::from_ms(2), &mut rng);
+            let n = pkts.len();
+            let mut net = Network::new(cfg(kind, 8));
+            let got = drive(&mut net, pkts);
+            assert_eq!(got.len(), n, "{kind:?} dropped packets");
+            assert!(net.is_idle(), "{kind:?} left flits in flight");
+            // exactly-once: ids unique
+            let mut ids: Vec<u64> = got.iter().map(|d| d.packet.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), n, "{kind:?} duplicated a delivery");
+        }
+    }
+
+    #[test]
+    fn ring_under_saturation_with_tiny_buffers_does_not_deadlock() {
+        // Tornado on a ring with wraparound wormhole traffic is the
+        // classic deadlock scenario; the dateline VC discipline must
+        // drain it.
+        let mut rng = Rng::new(5);
+        let c = cfg(TopologyKind::Ring, 8)
+            .with_input_buffer_flits(2)
+            .with_link_bandwidth(200_000_000);
+        let pkts = schedule(8, Pattern::Tornado, 400_000_000, 4096,
+                            SimSpan::from_ms(1), &mut rng);
+        let n = pkts.len();
+        assert!(n > 100);
+        let mut net = Network::new(c);
+        let got = drive(&mut net, pkts);
+        assert_eq!(got.len(), n, "ring deadlocked or dropped");
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn throughput_capped_by_bisection() {
+        // Tornado traffic: every packet crosses the bisection. Offered
+        // load is far above capacity; accepted throughput must cap near
+        // the bisection bandwidth.
+        let link = 500_000_000u64; // mesh bisection = 2 links = 1 GB/s
+        let c = cfg(TopologyKind::Mesh1D, 8).with_link_bandwidth(link);
+        let mut rng = Rng::new(7);
+        let pkts = schedule(8, Pattern::Tornado, 2_000_000_000, 4096,
+                            SimSpan::from_ms(1), &mut rng);
+        let mut net = Network::new(c);
+        let got = drive(&mut net, pkts);
+        let end = got.iter().map(|d| d.at).max().unwrap();
+        let bytes: u64 = got.iter().map(|d| d.packet.bytes).sum();
+        let thpt = bytes as f64 / end.as_secs_f64();
+        // 2 unidirectional bisection links x 500 MB/s = 1 GB/s ceiling
+        // (tornado on a line actually also uses non-bisection links, so
+        // just assert we're within the physical cap with overheads).
+        assert!(thpt <= 1.05e9, "throughput {thpt} exceeds bisection");
+        assert!(thpt >= 0.3e9, "throughput {thpt} suspiciously low");
+    }
+
+    #[test]
+    fn mesh_beats_ring_latency_at_equal_bisection() {
+        // Fig 13(a): at equal bisection bandwidth the ring's channels are
+        // half as wide as the mesh's, so large-packet serialization
+        // dominates and the ring's latency is worse.
+        let mut lat = Vec::new();
+        for kind in [TopologyKind::Mesh1D, TopologyKind::Ring] {
+            let c = cfg(kind, 8).with_bisection_bandwidth(500_000_000);
+            let mut rng = Rng::new(9);
+            let pkts = schedule(8, Pattern::UniformRandom, 20_000_000, 4096,
+                                SimSpan::from_ms(1), &mut rng);
+            let mut net = Network::new(c);
+            drive(&mut net, pkts);
+            lat.push(net.stats().mean_latency().as_us_f64());
+        }
+        assert!(lat[0] < lat[1],
+                "mesh latency {} should beat ring {}", lat[0], lat[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a terminal")]
+    fn inject_to_hub_rejected() {
+        let mut net = Network::new(cfg(TopologyKind::Crossbar, 4));
+        net.inject(SimTime::ZERO, Packet::new(0, 0, 4, 128));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in flight")]
+    fn duplicate_packet_id_rejected() {
+        let mut net = Network::new(cfg(TopologyKind::Mesh1D, 4));
+        net.inject(SimTime::ZERO, Packet::new(0, 0, 1, 128));
+        net.inject(SimTime::ZERO, Packet::new(0, 1, 2, 128));
+    }
+
+    #[test]
+    fn bisection_links_are_the_hot_spot_under_tornado() {
+        // Tornado on a line: every packet crosses the middle, so the
+        // center links carry the most serialization time.
+        let c = cfg(TopologyKind::Mesh1D, 8).with_link_bandwidth(400_000_000);
+        let mut rng = Rng::new(4);
+        let pkts = schedule(8, Pattern::Tornado, 100_000_000, 4096,
+                            SimSpan::from_ms(1), &mut rng);
+        let mut net = Network::new(c);
+        let got = drive(&mut net, pkts);
+        let end = got.iter().map(|d| d.at).max().unwrap();
+        let elapsed = end - SimTime::ZERO;
+        // Center-crossing link (node 3 -> 4 is output port 2 of node 3).
+        let center = net.link_busy(3, 2);
+        let edge = net.link_busy(0, 2);
+        assert!(center > edge, "center {center} vs edge {edge}");
+        let peak = net.max_link_utilization(elapsed);
+        assert!(peak > 0.5, "tornado must load the bisection: {peak}");
+        assert!(peak <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut net = Network::new(cfg(TopologyKind::Mesh1D, 8));
+        drive(&mut net, vec![
+            (SimTime::ZERO, Packet::new(0, 0, 4, 4096)),
+            (SimTime::ZERO, Packet::new(1, 2, 6, 4096)),
+        ]);
+        let s = net.stats();
+        assert_eq!(s.injected, 2);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.bytes_delivered, 8192);
+        assert_eq!(s.mean_hops(), 4.0);
+        assert!(s.flit_hops > 0);
+    }
+}

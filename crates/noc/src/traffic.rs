@@ -1,0 +1,154 @@
+//! Synthetic traffic generation for standalone network studies.
+//!
+//! The paper sizes the fNoC against "the random traffic from the flash
+//! channels" (Sec 6.3); this module provides that uniform-random load and
+//! a few classic patterns for sanity-checking the router.
+
+use dssd_kernel::{Rng, SimSpan, SimTime};
+
+use crate::Packet;
+
+/// Spatial traffic patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Destination drawn uniformly from all other terminals (the paper's
+    /// GC traffic model).
+    UniformRandom,
+    /// Node `i` sends to `(i + k/2) mod k` — worst case for the bisection.
+    Tornado,
+    /// Node `i` sends to `k - 1 - i`.
+    BitReverse,
+    /// All nodes send to node 0 (hotspot).
+    Hotspot,
+}
+
+impl Pattern {
+    /// Picks a destination for a packet from `src` among `k` terminals.
+    pub fn destination(self, src: usize, k: usize, rng: &mut Rng) -> usize {
+        match self {
+            Pattern::UniformRandom => {
+                let mut d = rng.index(k - 1);
+                if d >= src {
+                    d += 1;
+                }
+                d
+            }
+            Pattern::Tornado => (src + k / 2) % k,
+            Pattern::BitReverse => k - 1 - src,
+            Pattern::Hotspot => {
+                if src == 0 {
+                    1 % k
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+/// Generates an open-loop injection schedule: every terminal injects
+/// `packet_bytes`-sized packets at `rate_bytes_per_sec` (per node) for
+/// `duration`, with exponential inter-arrival times.
+///
+/// # Example
+///
+/// ```
+/// use dssd_noc::traffic::{schedule, Pattern};
+/// use dssd_kernel::{Rng, SimSpan};
+///
+/// let pkts = schedule(8, Pattern::UniformRandom, 100_000_000, 4096,
+///                     SimSpan::from_ms(1), &mut Rng::new(1));
+/// assert!(!pkts.is_empty());
+/// assert!(pkts.iter().all(|(_, p)| p.src != p.dst));
+/// ```
+pub fn schedule(
+    terminals: usize,
+    pattern: Pattern,
+    rate_bytes_per_sec: u64,
+    packet_bytes: u64,
+    duration: SimSpan,
+    rng: &mut Rng,
+) -> Vec<(SimTime, Packet)> {
+    assert!(terminals >= 2, "need at least two terminals");
+    assert!(packet_bytes > 0, "packets must carry payload");
+    let mean_gap_ns = packet_bytes as f64 * 1e9 / rate_bytes_per_sec as f64;
+    let mut out = Vec::new();
+    let mut id = 0u64;
+    for src in 0..terminals {
+        let mut t = 0.0f64;
+        loop {
+            t += rng.exponential(mean_gap_ns);
+            if t >= duration.as_ns() as f64 {
+                break;
+            }
+            let dst = pattern.destination(src, terminals, rng);
+            out.push((
+                SimTime::from_ns(t as u64),
+                Packet::new(id, src, dst, packet_bytes),
+            ));
+            id += 1;
+        }
+    }
+    out.sort_by_key(|(t, p)| (*t, p.id));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_never_self() {
+        let mut rng = Rng::new(1);
+        for src in 0..8 {
+            for _ in 0..200 {
+                let d = Pattern::UniformRandom.destination(src, 8, &mut rng);
+                assert_ne!(d, src);
+                assert!(d < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn tornado_is_half_way_around() {
+        assert_eq!(Pattern::Tornado.destination(1, 8, &mut Rng::new(1)), 5);
+        assert_eq!(Pattern::Tornado.destination(6, 8, &mut Rng::new(1)), 2);
+    }
+
+    #[test]
+    fn bit_reverse_mirrors() {
+        assert_eq!(Pattern::BitReverse.destination(0, 8, &mut Rng::new(1)), 7);
+        assert_eq!(Pattern::BitReverse.destination(3, 8, &mut Rng::new(1)), 4);
+    }
+
+    #[test]
+    fn hotspot_targets_zero() {
+        assert_eq!(Pattern::Hotspot.destination(5, 8, &mut Rng::new(1)), 0);
+        assert_eq!(Pattern::Hotspot.destination(0, 8, &mut Rng::new(1)), 1);
+    }
+
+    #[test]
+    fn schedule_has_expected_load() {
+        let mut rng = Rng::new(2);
+        let dur = SimSpan::from_ms(10);
+        let rate = 50_000_000u64; // 50 MB/s per node
+        let pkts = schedule(8, Pattern::UniformRandom, rate, 4096, dur, &mut rng);
+        let expected = (rate as f64 * dur.as_secs_f64() / 4096.0) * 8.0;
+        let got = pkts.len() as f64;
+        assert!((got - expected).abs() / expected < 0.1, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn schedule_is_time_sorted_with_unique_ids() {
+        let mut rng = Rng::new(3);
+        let pkts = schedule(4, Pattern::Tornado, 10_000_000, 4096,
+                            SimSpan::from_ms(5), &mut rng);
+        let mut ids = std::collections::HashSet::new();
+        for w in pkts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        for (_, p) in &pkts {
+            assert!(ids.insert(p.id));
+        }
+    }
+}

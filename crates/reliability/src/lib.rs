@@ -1,0 +1,32 @@
+//! Endurance simulation for the dynamic-superblock experiments (Sec 6.4,
+//! Figs 14 and 16).
+//!
+//! The paper evaluates superblock lifetime with a reduced-scale SSD and a
+//! continuous 128 KB write stream: every superblock fill charges one P/E
+//! cycle to each constituent block, block P/E limits follow the WAS
+//! block-variation model (Gaussian, E = 5578, σ = 826.9), and a block
+//! whose limit is exceeded produces an uncorrectable error that kills its
+//! superblock. The four policies compared:
+//!
+//! * [`SuperblockPolicy::Baseline`] — static superblocks; a dead
+//!   superblock is retired whole.
+//! * [`SuperblockPolicy::Recycled`] — the dSSD hardware recycles the
+//!   still-good sub-blocks of dead superblocks through the per-controller
+//!   RBT and remaps later failures through the bounded SRT (Sec 5.1–5.2).
+//! * [`SuperblockPolicy::Reserved`] — RBTs are pre-filled with
+//!   provisioned blocks (7 % by default), delaying the first visible bad
+//!   superblock (Sec 5.3).
+//! * [`SuperblockPolicy::WearAware`] — the software WAS comparison point:
+//!   the FTL regroups blocks by remaining endurance every fill, at the
+//!   cost of the scan traffic measured in Fig 14c.
+//!
+//! This simulator reuses the `dssd-ctrl` hardware-table types, so table
+//! capacities (SRT entries, RBT size) bound exactly what the hardware
+//! could hold.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod endurance;
+
+pub use endurance::{EnduranceConfig, EnduranceReport, EnduranceSim, SuperblockPolicy};

@@ -1,0 +1,249 @@
+//! Run-level measurements: bandwidth timelines, latency histograms,
+//! utilization splits and per-stage latency breakdowns.
+
+use dssd_kernel::stats::{BandwidthMeter, Histogram, OnlineMean, UtilizationMeter};
+use dssd_kernel::{SimSpan, SimTime};
+
+/// The latency components of the Fig 9 breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Flash array (die) wait + operation time.
+    FlashChip,
+    /// Flash channel bus wait + transfer.
+    FlashBus,
+    /// System bus wait + transfer.
+    SystemBus,
+    /// DRAM wait + access.
+    Dram,
+    /// ECC pipeline wait + decode.
+    Ecc,
+    /// fNoC (or dedicated GC bus) transit.
+    Noc,
+}
+
+impl StageKind {
+    /// All stages, in display order.
+    #[must_use]
+    pub fn all() -> [StageKind; 6] {
+        [
+            StageKind::FlashChip,
+            StageKind::FlashBus,
+            StageKind::SystemBus,
+            StageKind::Dram,
+            StageKind::Ecc,
+            StageKind::Noc,
+        ]
+    }
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StageKind::FlashChip => "flash chip",
+            StageKind::FlashBus => "flash bus",
+            StageKind::SystemBus => "system bus",
+            StageKind::Dram => "dram",
+            StageKind::Ecc => "ecc",
+            StageKind::Noc => "fnoc",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            StageKind::FlashChip => 0,
+            StageKind::FlashBus => 1,
+            StageKind::SystemBus => 2,
+            StageKind::Dram => 3,
+            StageKind::Ecc => 4,
+            StageKind::Noc => 5,
+        }
+    }
+}
+
+/// Mean time spent per pipeline stage (wait + service), accumulated over
+/// completed operations.
+#[derive(Debug, Clone, Default)]
+pub struct StageBreakdown {
+    means: [OnlineMean; 6],
+}
+
+impl StageBreakdown {
+    /// Records one operation's per-stage spans (microseconds are derived
+    /// internally; pass raw spans).
+    pub fn record(&mut self, spans: &[(StageKind, SimSpan)]) {
+        let mut totals = [0.0f64; 6];
+        for (kind, span) in spans {
+            totals[kind.index()] += span.as_us_f64();
+        }
+        for (i, t) in totals.iter().enumerate() {
+            self.means[i].record(*t);
+        }
+    }
+
+    /// Mean microseconds spent in `stage` per operation.
+    #[must_use]
+    pub fn mean_us(&self, stage: StageKind) -> f64 {
+        self.means[stage.index()].mean()
+    }
+
+    /// Mean total microseconds per operation.
+    #[must_use]
+    pub fn total_us(&self) -> f64 {
+        StageKind::all().iter().map(|&s| self.mean_us(s)).sum()
+    }
+
+    /// Operations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.means[0].count()
+    }
+}
+
+/// Everything measured during one simulation run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Host I/O bytes completed, 1 ms bins (Fig 2's y-axis).
+    pub io_bw: BandwidthMeter,
+    /// GC bytes copied, 1 ms bins.
+    pub gc_bw: BandwidthMeter,
+    /// End-to-end host request latency.
+    pub io_latency: Histogram,
+    /// Read-request latency.
+    pub read_latency: Histogram,
+    /// Write-request latency.
+    pub write_latency: Histogram,
+    /// System-bus busy time attributed to host I/O, 1 ms bins.
+    pub sysbus_io_util: UtilizationMeter,
+    /// System-bus busy time attributed to GC, 1 ms bins.
+    pub sysbus_gc_util: UtilizationMeter,
+    /// Per-stage latency of host I/O page groups (Fig 9a).
+    pub io_breakdown: StageBreakdown,
+    /// Per-stage latency of copyback groups (Fig 9b).
+    pub copyback_breakdown: StageBreakdown,
+    /// Host requests completed.
+    pub requests_completed: u64,
+    /// GC page copies completed.
+    pub gc_pages_copied: u64,
+    /// GC rounds completed.
+    pub gc_rounds: u64,
+    /// First instant GC was triggered, if ever.
+    pub first_gc_at: Option<SimTime>,
+    /// Superblocks retired as bad (online dynamic-superblock mode).
+    pub bad_superblocks: u32,
+    /// Worn sub-blocks silently repaired through the SRT/RBT.
+    pub dynamic_remaps: u64,
+    /// When the device ran out of erased superblocks (wear-out end of
+    /// life), if it did.
+    pub end_of_life: Option<SimTime>,
+    /// Wall-clock end of the measured window.
+    pub elapsed: SimSpan,
+}
+
+impl RunReport {
+    pub(crate) fn new(window: SimSpan) -> Self {
+        RunReport {
+            io_bw: BandwidthMeter::new(window),
+            gc_bw: BandwidthMeter::new(window),
+            io_latency: Histogram::new(),
+            read_latency: Histogram::new(),
+            write_latency: Histogram::new(),
+            sysbus_io_util: UtilizationMeter::new(window),
+            sysbus_gc_util: UtilizationMeter::new(window),
+            io_breakdown: StageBreakdown::default(),
+            copyback_breakdown: StageBreakdown::default(),
+            requests_completed: 0,
+            gc_pages_copied: 0,
+            gc_rounds: 0,
+            first_gc_at: None,
+            bad_superblocks: 0,
+            dynamic_remaps: 0,
+            end_of_life: None,
+            elapsed: SimSpan::ZERO,
+        }
+    }
+
+    /// Mean host I/O bandwidth over the run, in GB/s.
+    #[must_use]
+    pub fn io_bandwidth_gbps(&self) -> f64 {
+        self.io_bw.mean_rate(self.elapsed) / 1e9
+    }
+
+    /// Mean GC copy bandwidth over the run, in GB/s — the "GC
+    /// performance" metric of Figs 7, 8, 12 and 13.
+    #[must_use]
+    pub fn gc_bandwidth_gbps(&self) -> f64 {
+        self.gc_bw.mean_rate(self.elapsed) / 1e9
+    }
+
+    /// The `p`-quantile of host request latency.
+    pub fn latency_percentile(&mut self, p: f64) -> SimSpan {
+        self.io_latency.percentile(p)
+    }
+
+    /// Mean host request latency.
+    #[must_use]
+    pub fn mean_latency(&self) -> SimSpan {
+        self.io_latency.mean()
+    }
+
+    /// Mean system-bus utilization attributed to host I/O.
+    #[must_use]
+    pub fn sysbus_io_utilization(&self) -> f64 {
+        self.sysbus_io_util.mean(self.elapsed)
+    }
+
+    /// Mean system-bus utilization attributed to GC.
+    #[must_use]
+    pub fn sysbus_gc_utilization(&self) -> f64 {
+        self.sysbus_gc_util.mean(self.elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates_means() {
+        let mut b = StageBreakdown::default();
+        b.record(&[
+            (StageKind::FlashChip, SimSpan::from_us(50)),
+            (StageKind::SystemBus, SimSpan::from_us(10)),
+        ]);
+        b.record(&[
+            (StageKind::FlashChip, SimSpan::from_us(100)),
+            (StageKind::SystemBus, SimSpan::from_us(0)),
+        ]);
+        assert_eq!(b.count(), 2);
+        assert!((b.mean_us(StageKind::FlashChip) - 75.0).abs() < 1e-9);
+        assert!((b.mean_us(StageKind::SystemBus) - 5.0).abs() < 1e-9);
+        assert!((b.mean_us(StageKind::Noc)).abs() < 1e-9);
+        assert!((b.total_us() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_merges_duplicate_stage_entries() {
+        let mut b = StageBreakdown::default();
+        b.record(&[
+            (StageKind::FlashBus, SimSpan::from_us(3)),
+            (StageKind::FlashBus, SimSpan::from_us(4)),
+        ]);
+        assert!((b.mean_us(StageKind::FlashBus) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_rates() {
+        let mut r = RunReport::new(SimSpan::from_ms(1));
+        r.io_bw.record(SimTime::from_us(10), 8_000_000);
+        r.elapsed = SimSpan::from_ms(1);
+        assert!((r.io_bandwidth_gbps() - 8.0).abs() < 1e-9);
+        assert_eq!(r.gc_bandwidth_gbps(), 0.0);
+    }
+
+    #[test]
+    fn stage_labels_cover_all() {
+        for s in StageKind::all() {
+            assert!(!s.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,2080 @@
+//! The event-driven SSD world.
+//!
+//! One flat struct owns every component; one event enum drives every
+//! pipeline. Resources (buses, DRAM, dies, ECC) are passive analytic
+//! servers from `dssd-kernel`, so each pipeline stage computes its own
+//! completion time and schedules exactly one event for the next stage.
+
+use std::collections::{HashMap, VecDeque};
+
+use dssd_ctrl::{CommandId, CommandKind, CommandQueue, DecoupledController};
+use dssd_flash::{DieGrid, EraseOutcome, FlashOp, FlashOpKind, PageAddr, WearModel};
+use dssd_ftl::{CopyGroup, Ftl, GcRound, Lpn};
+use dssd_kernel::{BandwidthServer, EventQueue, Rng, SimSpan, SimTime};
+use dssd_noc::{Network, NocEvent, Packet};
+use dssd_workload::{Op, Request, SyntheticWorkload};
+
+use crate::cache::WriteCache;
+use crate::metrics::{RunReport, StageKind};
+use crate::{Architecture, SsdConfig};
+
+/// Traffic class for host I/O on the shared servers.
+const CLASS_IO: usize = 0;
+/// Traffic class for GC / copyback traffic.
+const CLASS_GC: usize = 1;
+/// Traffic class for WAS endurance-scan traffic.
+const CLASS_SCAN: usize = 2;
+
+/// Maximum GC copy groups in flight per source channel. PaGC executes
+/// GC in parallel across all flash (its copy bursts are what interfere
+/// with I/O), so the cap is high; the real throttle is resource
+/// contention, not the issue rate.
+const GC_PER_CHANNEL_INFLIGHT: usize = 16;
+/// Maximum concurrent WAS scan reads.
+const SCAN_INFLIGHT: usize = 128;
+
+type ReqId = u64;
+type JobId = u64;
+
+#[derive(Debug)]
+struct ReqState {
+    op: Op,
+    arrived: SimTime,
+    pages_left: u32,
+    total_pages: u32,
+    spans: Vec<(StageKind, SimSpan)>,
+}
+
+#[derive(Debug)]
+struct CopyJob {
+    /// `(lpn, src, dst)` triples; all sources on one die/row, all
+    /// destinations on one die/row.
+    pages: Vec<(Lpn, PageAddr, PageAddr)>,
+    src: PageAddr,
+    dst: PageAddr,
+    spans: Vec<(StageKind, SimSpan)>,
+    /// Outstanding fNoC packets for this job.
+    packets_in_flight: u32,
+    /// Whether a source-side dBUF reservation is held.
+    holds_src_dbuf: bool,
+    /// The copyback command tracking this job in the source controller's
+    /// command queue.
+    cmd: CommandId,
+}
+
+#[derive(Debug)]
+struct GcState {
+    round: GcRound,
+    pending: VecDeque<CopyGroup>,
+    copies_done: usize,
+    copies_expected: usize,
+    erases_outstanding: usize,
+    channel_inflight: HashMap<u32, usize>,
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    /// Closed-loop admission refill.
+    Admit,
+    /// Open-loop trace arrival.
+    Arrive(Request),
+    /// Host write group reached the controller (system bus done).
+    WriteAtCtrl { req: ReqId, die: usize, pages: u32, channel: u32 },
+    /// Host write group transferred over the flash bus.
+    WriteAtDie { req: ReqId, die: usize, pages: u32, addr: PageAddr },
+    /// Host write group programmed.
+    WriteDone { req: ReqId, pages: u32 },
+    /// Host read group: die read finished.
+    ReadAtBus { req: ReqId, pages: u32, channel: u32 },
+    /// Host read group: flash bus transfer finished.
+    ReadAtEcc { req: ReqId, pages: u32, channel: u32 },
+    /// Host read group: ECC finished.
+    ReadAtSysbus { req: ReqId, pages: u32 },
+    /// Host read group: system-bus crossing finished.
+    ReadDone { req: ReqId, pages: u32 },
+    /// DRAM-hit request: system-bus crossing finished.
+    DramHitAtDram { req: ReqId, pages: u32 },
+    /// DRAM-hit request: DRAM access finished.
+    DramHitDone { req: ReqId, pages: u32 },
+    /// GC copy: source die read finished.
+    CopyAtSrcBus { job: JobId },
+    /// GC copy: source flash bus transfer finished.
+    CopyAtEcc { job: JobId },
+    /// GC copy: ECC check finished; route to transport.
+    CopyTransport { job: JobId },
+    /// GC copy: baseline path, bus crossing into DRAM finished.
+    CopyAtDram { job: JobId },
+    /// GC copy: baseline path, DRAM staging finished.
+    CopyFromDram { job: JobId },
+    /// GC copy: arrived at the destination controller.
+    CopyAtDstBus { job: JobId },
+    /// GC copy: destination flash bus transfer finished.
+    CopyAtDstDie { job: JobId },
+    /// GC copy: destination program finished.
+    CopyDone { job: JobId },
+    /// One die's (multi-plane) erase for the active round finished.
+    EraseDone,
+    /// fNoC internal event.
+    Noc(NocEvent),
+    /// WAS endurance scan pass begins.
+    ScanTick,
+    /// One WAS scan read completed its die+bus pipeline.
+    ScanReadDone,
+}
+
+/// The integrated SSD simulator.
+///
+/// See the [crate documentation](crate) for the architecture table and an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct SsdSim {
+    config: SsdConfig,
+    rng: Rng,
+    ftl: Ftl,
+    dies: DieGrid,
+    flash_bus: Vec<BandwidthServer>,
+    controllers: Vec<DecoupledController>,
+    sysbus: BandwidthServer,
+    dram: BandwidthServer,
+    dedicated_bus: Option<BandwidthServer>,
+    noc: Option<Network>,
+    dbuf_waiters: Vec<VecDeque<JobId>>,
+    cache: Option<WriteCache>,
+    flush_backlog: VecDeque<Lpn>,
+    remap: HashMap<(u32, u32), (u32, u32, u32)>,
+    wear: Option<WearModel>,
+    queue: EventQueue<Ev>,
+    requests: HashMap<ReqId, ReqState>,
+    jobs: HashMap<JobId, CopyJob>,
+    packet_jobs: HashMap<u64, JobId>,
+    blocked_writes: VecDeque<(ReqId, Request)>,
+    next_req: ReqId,
+    next_job: JobId,
+    next_packet: u64,
+    outstanding: usize,
+    workload: Option<SyntheticWorkload>,
+    gc: Option<GcState>,
+    scan_remaining: u64,
+    scan_inflight: usize,
+    parity_pending_pages: u32,
+    report: RunReport,
+    now: SimTime,
+    horizon: SimTime,
+    prefilled: bool,
+}
+
+impl SsdSim {
+    /// Builds an idle simulator from a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is internally inconsistent (e.g. fNoC
+    /// terminal count differing from the channel count).
+    #[must_use]
+    pub fn new(config: SsdConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid SsdConfig: {e}");
+        }
+        let rng = Rng::new(config.seed);
+        let geo = config.geometry;
+        let channels = geo.channels as usize;
+        let ftl = Ftl::new(geo, config.ftl);
+        let dies = DieGrid::new(&geo);
+        let flash_bus = (0..channels)
+            .map(|_| BandwidthServer::new(config.flash_bus_bytes_per_sec, SimSpan::ZERO))
+            .collect();
+        let sysbus =
+            BandwidthServer::new(config.system_bus_bytes_per_sec(), config.bus_overhead);
+        let dram = BandwidthServer::new(config.dram_bytes_per_sec, config.bus_overhead);
+        let dedicated_bus = match config.architecture {
+            Architecture::DssdBus => Some(BandwidthServer::new(
+                config.dedicated_budget_bytes_per_sec().max(1),
+                config.bus_overhead,
+            )),
+            _ => None,
+        };
+        let noc = match config.architecture {
+            Architecture::DssdFnoc => {
+                let mut nc = config.noc;
+                if nc.link_bytes_per_sec == 0 {
+                    // Derive the link bandwidth from the dedicated
+                    // on-chip budget (bisection normalization).
+                    nc = nc.with_bisection_bandwidth(
+                        config.dedicated_budget_bytes_per_sec().max(1),
+                    );
+                }
+                Some(Network::new(nc))
+            }
+            _ => None,
+        };
+        let dbuf_waiters = (0..channels).map(|_| VecDeque::new()).collect();
+
+        // Fig 15a: inject `srt_active_remaps` timing-level sub-block
+        // remappings. Accesses to a remapped (superblock, stripe-die)
+        // occupy the *replacement* die/channel, losing striping
+        // parallelism exactly as a recycled block on the "wrong" channel
+        // would. Mapping-table state is untouched (the SRT is invisible
+        // to the FTL).
+        let mut remap = HashMap::new();
+        let stripe_dies = geo.total_dies() as u32;
+        // Remaps draw from their own stream so enabling them does not
+        // perturb the workload/prefill randomness of the comparison run.
+        let mut remap_rng = Rng::new(config.seed ^ 0x5247_5431);
+        while remap.len() < config.srt_active_remaps {
+            let sb = remap_rng.range_u64(0..geo.blocks as u64) as u32;
+            let die_idx = remap_rng.range_u64(0..stripe_dies as u64) as u32;
+            let target = remap_rng.range_u64(0..stripe_dies as u64) as u32;
+            let t_ch = target % geo.channels;
+            let t_way = (target / geo.channels) % geo.ways;
+            let t_die = target / (geo.channels * geo.ways);
+            remap.insert((sb, die_idx), (t_ch, t_way, t_die));
+        }
+
+        // The decoupled controllers (C_D): command queue, integrated ECC,
+        // dBUF, and the dynamic-superblock hardware tables.
+        let srt_entries = config.dynamic_sb.map_or(1024, |d| d.srt_entries);
+        let mut controllers: Vec<DecoupledController> = (0..channels)
+            .map(|_| {
+                DecoupledController::new(config.ecc, config.dbuf_pages, srt_entries, 1 << 20)
+            })
+            .collect();
+
+        // Online dynamic-superblock state (Sec 5): per-block wear with
+        // Gaussian P/E limits, and optionally a reserved pool carved out
+        // of the highest-numbered superblocks to pre-fill the RBTs.
+        let mut ftl = ftl;
+        let wear = match config.dynamic_sb {
+            Some(d) => {
+                let mut wrng = Rng::new(config.seed ^ 0x3EA2);
+                let wear = WearModel::with_block_count(
+                    geo.total_blocks() as usize,
+                    d.pe_mean,
+                    d.pe_sigma,
+                    &mut wrng,
+                );
+                if d.reserved_fraction > 0.0 {
+                    let n = ((geo.blocks as f64 * d.reserved_fraction).round() as u32)
+                        .min(geo.blocks / 4);
+                    for sb in geo.blocks - n..geo.blocks {
+                        if ftl.retire_superblock(sb) {
+                            for b in ftl.layout().sub_blocks(sb) {
+                                let _ = controllers[b.channel as usize]
+                                    .rbt_mut()
+                                    .deposit(geo.block_index(b) as u32);
+                            }
+                        }
+                    }
+                }
+                Some(wear)
+            }
+            None => None,
+        };
+
+        SsdSim {
+            rng,
+            ftl,
+            dies,
+            flash_bus,
+            controllers,
+            sysbus,
+            dram,
+            dedicated_bus,
+            noc,
+            dbuf_waiters,
+            cache: config.write_cache_pages.map(WriteCache::new),
+            flush_backlog: VecDeque::new(),
+            remap,
+            wear,
+            queue: EventQueue::new(),
+            requests: HashMap::new(),
+            jobs: HashMap::new(),
+            packet_jobs: HashMap::new(),
+            blocked_writes: VecDeque::new(),
+            next_req: 0,
+            next_job: 0,
+            next_packet: 0,
+            outstanding: 0,
+            workload: None,
+            gc: None,
+            scan_remaining: 0,
+            scan_inflight: 0,
+            parity_pending_pages: 0,
+            report: RunReport::new(SimSpan::from_ms(1)),
+            now: SimTime::ZERO,
+            horizon: SimTime::MAX,
+            config,
+            prefilled: false,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// The FTL (for inspection in tests and experiments).
+    #[must_use]
+    pub fn ftl(&self) -> &Ftl {
+        &self.ftl
+    }
+
+    /// Pre-conditions the drive per Sec 6.1 (full + fragmented, on the
+    /// edge of triggering GC). Idempotent.
+    pub fn prefill(&mut self) {
+        if self.prefilled {
+            return;
+        }
+        let target = self.config.prefill_target_free;
+        let frac = self.config.prefill_invalid_fraction;
+        let mut rng = self.rng.fork(0xF111);
+        self.ftl.prefill_with(&mut rng, target, frac);
+        self.prefilled = true;
+    }
+
+    /// Runs a closed-loop workload for `duration` of simulated time and
+    /// returns the measurements.
+    pub fn run_closed_loop(
+        &mut self,
+        workload: SyntheticWorkload,
+        duration: SimSpan,
+    ) -> &RunReport {
+        let bound = workload.bind_check(self.ftl.lpn_count());
+        self.workload = Some(bound);
+        self.horizon = SimTime::ZERO + duration;
+        self.queue.push(SimTime::ZERO, Ev::Admit);
+        self.event_loop();
+        self.report.elapsed = duration;
+        &self.report
+    }
+
+    /// Replays an open-loop request schedule (e.g. from a trace), capped
+    /// at `duration`.
+    pub fn run_trace(
+        &mut self,
+        requests: Vec<(SimTime, Request)>,
+        duration: SimSpan,
+    ) -> &RunReport {
+        self.horizon = SimTime::ZERO + duration;
+        for (t, r) in requests {
+            if t <= self.horizon {
+                self.queue.push(t, Ev::Arrive(r));
+            }
+        }
+        self.event_loop();
+        self.report.elapsed = duration;
+        &self.report
+    }
+
+    /// The measurements collected so far.
+    #[must_use]
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// Mutable access to the measurements (percentiles need `&mut`).
+    pub fn report_mut(&mut self) -> &mut RunReport {
+        &mut self.report
+    }
+
+    /// Diagnostic snapshot of GC progress: `(round active, pending
+    /// groups, copies done, copies expected, erases outstanding, copy
+    /// jobs in flight, dBUF waiters, NoC packets in flight)`.
+    #[must_use]
+    pub fn gc_debug(&self) -> (bool, usize, usize, usize, usize, usize, usize, usize) {
+        let (p, d, e, er) = self.gc.as_ref().map_or((0, 0, 0, 0), |g| {
+            (g.pending.len(), g.copies_done, g.copies_expected, g.erases_outstanding)
+        });
+        (
+            self.gc.is_some(),
+            p,
+            d,
+            e,
+            er,
+            self.jobs.len(),
+            self.dbuf_waiters.iter().map(|w| w.len()).sum(),
+            self.noc.as_ref().map_or(0, |n| n.in_flight()),
+        )
+    }
+
+    /// Read hits observed by the DRAM write-buffer cache, if enabled.
+    #[must_use]
+    pub fn cache_hits(&self) -> Option<u64> {
+        self.cache.as_ref().map(WriteCache::hits)
+    }
+
+    /// NoC diagnostic dump (empty string when there is no NoC).
+    #[must_use]
+    pub fn noc_debug(&self) -> String {
+        self.noc.as_ref().map_or(String::new(), |n| n.debug_state())
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    fn event_loop(&mut self) {
+        if let Some(was) = self.config.was_scan {
+            self.queue.push(SimTime::ZERO + was.interval, Ev::ScanTick);
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.horizon {
+                break;
+            }
+            self.now = t;
+            self.handle(ev);
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Admit => self.admit_closed_loop(),
+            Ev::Arrive(r) => {
+                self.start_request(r);
+                self.check_gc();
+            }
+            Ev::WriteAtCtrl { req, die, pages, channel } => {
+                let bytes = self.page_bytes(pages);
+                let t = self.flash_bus[channel as usize].enqueue(self.now, bytes, CLASS_IO);
+                self.req_span(req, StageKind::FlashBus, t.done - self.now);
+                self.queue.push(
+                    t.done,
+                    Ev::WriteAtDie {
+                        req,
+                        die,
+                        pages,
+                        addr: PageAddr {
+                            channel,
+                            way: 0,
+                            die: 0,
+                            plane: 0,
+                            block: 0,
+                            page: 0,
+                        },
+                    },
+                );
+            }
+            Ev::WriteAtDie { req, die, pages, addr } => {
+                let lat = FlashOp::multi_plane(FlashOpKind::Program, addr, pages)
+                    .array_latency(&self.config.timing, &mut self.rng);
+                let (_, done) = self.dies.occupy(die, self.now, lat);
+                self.req_span(req, StageKind::FlashChip, done - self.now);
+                self.queue.push(done, Ev::WriteDone { req, pages });
+            }
+            Ev::WriteDone { req, pages } | Ev::ReadDone { req, pages } => {
+                self.finish_pages(req, pages);
+            }
+            Ev::ReadAtBus { req, pages, channel } => {
+                let bytes = self.page_bytes(pages);
+                let t = self.flash_bus[channel as usize].enqueue(self.now, bytes, CLASS_IO);
+                self.req_span(req, StageKind::FlashBus, t.done - self.now);
+                self.queue.push(t.done, Ev::ReadAtEcc { req, pages, channel });
+            }
+            Ev::ReadAtEcc { req, pages, channel } => {
+                let bytes = self.page_bytes(pages);
+                let t = self.controllers[channel as usize]
+                    .ecc_mut()
+                    .decode_as(self.now, bytes, CLASS_IO);
+                self.req_span(req, StageKind::Ecc, t.done - self.now);
+                self.queue.push(t.done, Ev::ReadAtSysbus { req, pages });
+            }
+            Ev::ReadAtSysbus { req, pages } => {
+                let bytes = self.page_bytes(pages);
+                let t = self.sysbus_xfer(bytes, CLASS_IO);
+                self.req_span(req, StageKind::SystemBus, t.1 - self.now);
+                self.queue.push(t.1, Ev::ReadDone { req, pages });
+            }
+            Ev::DramHitAtDram { req, pages } => {
+                let bytes = self.page_bytes(pages);
+                let t = self.dram.enqueue(self.now, bytes, CLASS_IO);
+                self.req_span(req, StageKind::Dram, t.done - self.now);
+                self.queue.push(t.done, Ev::DramHitDone { req, pages });
+            }
+            Ev::DramHitDone { req, pages } => self.finish_pages(req, pages),
+            Ev::CopyAtSrcBus { job } => {
+                self.cmd_advance_to(job, dssd_ctrl::CopybackStage::ReadDone);
+                let (bytes, ch) = self.job_src(job);
+                // dSSD_f: the pages move from the die's page register
+                // into the dBUF; without free slots the transfer waits
+                // (back-pressure, resumed when a slot frees).
+                if self.config.architecture == Architecture::DssdFnoc {
+                    let j = &self.jobs[&job];
+                    if !j.holds_src_dbuf {
+                        let n = j.pages.len();
+                        if self.controllers[ch].dbuf().available() < n {
+                            self.dbuf_waiters[ch].push_back(job);
+                            return;
+                        }
+                        for _ in 0..n {
+                            assert!(self.controllers[ch].dbuf_mut().try_reserve());
+                        }
+                        self.jobs.get_mut(&job).unwrap().holds_src_dbuf = true;
+                    }
+                }
+                let t = self.flash_bus[ch].enqueue(self.now, bytes, CLASS_GC);
+                self.job_span(job, StageKind::FlashBus, t.done - self.now);
+                self.queue.push(t.done, Ev::CopyAtEcc { job });
+            }
+            Ev::CopyAtEcc { job } => {
+                let (bytes, ch) = self.job_src(job);
+                let t = self.controllers[ch].ecc_mut().decode_as(self.now, bytes, CLASS_GC);
+                self.job_span(job, StageKind::Ecc, t.done - self.now);
+                self.queue.push(t.done, Ev::CopyTransport { job });
+            }
+            Ev::CopyTransport { job } => {
+                self.cmd_advance_to(job, dssd_ctrl::CopybackStage::EccDone);
+                self.copy_transport(job);
+            }
+            Ev::CopyAtDram { job } => {
+                let n = self.jobs[&job].pages.len() as u32;
+                let t = self.dram_xfer_pages(n, CLASS_GC);
+                self.job_span(job, StageKind::Dram, t.1 - self.now);
+                self.queue.push(t.1, Ev::CopyFromDram { job });
+            }
+            Ev::CopyFromDram { job } => {
+                let n = self.jobs[&job].pages.len() as u32;
+                let t = self.sysbus_xfer_pages(n, CLASS_GC);
+                self.job_span(job, StageKind::SystemBus, t.1 - self.now);
+                self.queue.push(t.1, Ev::CopyAtDstBus { job });
+            }
+            Ev::CopyAtDstBus { job } => {
+                let (bytes, ch) = self.job_dst(job);
+                let t = self.flash_bus[ch].enqueue(self.now, bytes, CLASS_GC);
+                self.job_span(job, StageKind::FlashBus, t.done - self.now);
+                self.queue.push(t.done, Ev::CopyAtDstDie { job });
+            }
+            Ev::CopyAtDstDie { job } => {
+                self.cmd_advance_to(job, dssd_ctrl::CopybackStage::WriteIssued);
+                // The data now sits in the destination die's page
+                // register: same-channel copies can free their dBUF slots
+                // here rather than waiting out the program.
+                self.release_src_dbuf(job);
+                let j = &self.jobs[&job];
+                let pages = j.pages.len() as u32;
+                let dst = j.dst;
+                let die = self.effective_die_index(dst);
+                let lat = FlashOp::multi_plane(FlashOpKind::Program, dst, pages)
+                    .array_latency(&self.config.timing, &mut self.rng);
+                let (_, done) = self.dies.occupy(die, self.now, lat);
+                self.job_span(job, StageKind::FlashChip, done - self.now);
+                self.queue.push(done, Ev::CopyDone { job });
+            }
+            Ev::CopyDone { job } => self.copy_done(job),
+            Ev::EraseDone => self.erase_done(),
+            Ev::Noc(ev) => self.noc_event(ev),
+            Ev::ScanTick => self.scan_tick(),
+            Ev::ScanReadDone => {
+                self.scan_inflight -= 1;
+                self.pump_scan();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host side
+    // ------------------------------------------------------------------
+
+    fn admit_closed_loop(&mut self) {
+        let Some(mut wl) = self.workload.take() else { return };
+        let qd = wl.queue_depth();
+        while self.outstanding < qd && self.now <= self.horizon {
+            let r = wl.next_request(&mut self.rng);
+            self.start_request(r);
+        }
+        self.workload = Some(wl);
+        self.check_gc();
+        self.pump_gc();
+    }
+
+    fn start_request(&mut self, r: Request) {
+        let id = self.next_req;
+        self.next_req += 1;
+        self.outstanding += 1;
+        self.requests.insert(
+            id,
+            ReqState {
+                op: r.op,
+                arrived: self.now,
+                pages_left: r.pages,
+                total_pages: r.pages,
+                spans: Vec::new(),
+            },
+        );
+        if r.dram_hit {
+            let bytes = self.page_bytes(r.pages);
+            let t = self.sysbus_xfer(bytes, CLASS_IO);
+            self.req_span(id, StageKind::SystemBus, t.1 - self.now);
+            self.queue.push(t.1, Ev::DramHitAtDram { req: id, pages: r.pages });
+            return;
+        }
+        match r.op {
+            Op::Write => self.start_write(id, r),
+            Op::Read => self.start_read(id, r),
+        }
+    }
+
+    fn start_write(&mut self, id: ReqId, r: Request) {
+        if self.cache.is_some() {
+            // Write-back buffering: the write is acknowledged from DRAM;
+            // dirty pages flush to flash in the background.
+            let lpns: Vec<Lpn> = r.lpns().map(|l| l % self.ftl.lpn_count()).collect();
+            let cache = self.cache.as_mut().unwrap();
+            for lpn in lpns {
+                cache.write(lpn);
+            }
+            let bytes = self.page_bytes(r.pages);
+            let t = self.sysbus_xfer(bytes, CLASS_IO);
+            self.req_span(id, StageKind::SystemBus, t.1 - self.now);
+            self.queue.push(t.1, Ev::DramHitAtDram { req: id, pages: r.pages });
+            self.pump_flush();
+            return;
+        }
+        let lpns: Vec<Lpn> = r.lpns().map(|l| l % self.ftl.lpn_count()).collect();
+        match self.ftl.write_pages(&lpns) {
+            Some(groups) => {
+                for g in groups {
+                    let addr = self.effective_addr(g.addrs[0]);
+                    let die = self.effective_die_index(g.addrs[0]);
+                    let pages = g.len() as u32;
+                    let bytes = self.page_bytes(pages);
+                    let t = self.sysbus_xfer(bytes, CLASS_IO);
+                    self.req_span(id, StageKind::SystemBus, t.1 - self.now);
+                    self.queue.push(
+                        t.1,
+                        Ev::WriteAtCtrl { req: id, die, pages, channel: addr.channel },
+                    );
+                }
+            }
+            None => {
+                // Out of space: the request stalls until GC frees a
+                // superblock — this is where baseline tail latency
+                // explodes.
+                self.blocked_writes.push_back((id, r));
+                self.check_gc();
+                return;
+            }
+        }
+        self.charge_parity(r.pages);
+    }
+
+    /// TinyTail maintains RAIN parity so reads can bypass GC-blocked
+    /// chips: every stripe of data pages costs one extra parity-page
+    /// write through the normal bus + flash path (the paper's "cost:
+    /// FTL, parity pages for RAIN"). The parity write occupies resources
+    /// but nothing waits on it, so it is charged analytically.
+    fn charge_parity(&mut self, pages: u32) {
+        if !matches!(self.config.ftl.policy, dssd_ftl::GcPolicy::TinyTail { .. }) {
+            return;
+        }
+        self.parity_pending_pages += pages;
+        let stripe = self.config.geometry.planes.max(1);
+        while self.parity_pending_pages >= stripe {
+            self.parity_pending_pages -= stripe;
+            let page = self.config.geometry.page_bytes as u64;
+            let (_, bus_done) = self.sysbus_xfer(page, CLASS_IO);
+            let die = self.rng.index(self.dies.len());
+            let ch = self.config.geometry.die_at(die).channel as usize;
+            let t = self.flash_bus[ch].enqueue(bus_done, page, CLASS_IO);
+            let lat = self.config.timing.sample_program(&mut self.rng);
+            self.dies.occupy(die, t.done, lat);
+        }
+    }
+
+    fn start_read(&mut self, id: ReqId, r: Request) {
+        // Group the request's pages by (die, page row) to exploit
+        // multi-plane reads where the FTL laid pages out that way.
+        let mut groups: HashMap<(usize, u32, u32), u32> = HashMap::new();
+        let mut unmapped = 0u32;
+        let mut cached = 0u32;
+        for lpn in r.lpns() {
+            let lpn = lpn % self.ftl.lpn_count();
+            if self.cache.as_mut().is_some_and(|c| c.read(lpn)) {
+                cached += 1;
+                continue;
+            }
+            match self.ftl.translate(lpn) {
+                Some(addr) => {
+                    let addr = self.effective_addr(addr);
+                    let die = self.effective_die_index_raw(addr);
+                    *groups.entry((die, addr.page, addr.channel)).or_insert(0) += 1;
+                }
+                None => unmapped += 1,
+            }
+        }
+        if cached > 0 {
+            // Write-buffer hits are served from DRAM.
+            let bytes = self.page_bytes(cached);
+            let t = self.sysbus_xfer(bytes, CLASS_IO);
+            self.req_span(id, StageKind::SystemBus, t.1 - self.now);
+            self.queue.push(t.1, Ev::DramHitAtDram { req: id, pages: cached });
+        }
+        if unmapped > 0 {
+            // Never-written pages are served from the controller (real
+            // drives return zeroes without touching flash): charge the
+            // system-bus crossing only.
+            let bytes = self.page_bytes(unmapped);
+            let t = self.sysbus_xfer(bytes, CLASS_IO);
+            self.req_span(id, StageKind::SystemBus, t.1 - self.now);
+            self.queue.push(t.1, Ev::ReadDone { req: id, pages: unmapped });
+        }
+        for ((die, _row, channel), pages) in groups {
+            // TinyTail: a read whose chip is busy with (partial) GC is
+            // served by RAIN reconstruction — the k-1 stripe peers are
+            // read from the other channels and XORed at the front end,
+            // a (k-1)x read amplification that is the scheme's price for
+            // never blocking behind GC.
+            if matches!(self.config.ftl.policy, dssd_ftl::GcPolicy::TinyTail { .. })
+                && self
+                    .gc
+                    .as_ref()
+                    .is_some_and(|g| g.channel_inflight.get(&channel).copied().unwrap_or(0) > 0)
+            {
+                self.reconstruct_read(id, pages, channel);
+                continue;
+            }
+            let lat = FlashOp::multi_plane(
+                FlashOpKind::Read,
+                PageAddr { channel, way: 0, die: 0, plane: 0, block: 0, page: 0 },
+                pages,
+            )
+            .array_latency(&self.config.timing, &mut self.rng);
+            let (_, done) = self.dies.occupy(die, self.now, lat);
+            self.req_span(id, StageKind::FlashChip, done - self.now);
+            self.queue.push(done, Ev::ReadAtBus { req: id, pages, channel });
+        }
+    }
+
+    /// RAIN read reconstruction: read the stripe fragments from every
+    /// other channel, move them to the front end, and complete the read
+    /// once the slowest fragment has arrived and been XORed.
+    fn reconstruct_read(&mut self, id: ReqId, pages: u32, blocked_channel: u32) {
+        let geo = self.config.geometry;
+        let bytes = self.page_bytes(pages);
+        let mut latest = self.now;
+        let mut chip_span = SimSpan::ZERO;
+        let mut bus_span = SimSpan::ZERO;
+        for c in 0..geo.channels {
+            if c == blocked_channel {
+                continue;
+            }
+            // One fragment read per peer channel, on one of its dies.
+            let local = self.rng.range_u64(0..(geo.ways * geo.dies) as u64) as u32;
+            let die = geo.die_index(dssd_flash::DieAddr {
+                channel: c,
+                way: local % geo.ways,
+                die: local / geo.ways,
+            });
+            let lat = FlashOp::multi_plane(
+                FlashOpKind::Read,
+                PageAddr { channel: c, way: 0, die: 0, plane: 0, block: 0, page: 0 },
+                pages,
+            )
+            .array_latency(&self.config.timing, &mut self.rng);
+            let (_, die_done) = self.dies.occupy(die, self.now, lat);
+            chip_span = chip_span.max(die_done - self.now);
+            let t = self.flash_bus[c as usize].enqueue(die_done, bytes, CLASS_IO);
+            bus_span = bus_span.max(t.done - self.now);
+            latest = latest.max(t.done);
+        }
+        self.req_span(id, StageKind::FlashChip, chip_span);
+        self.req_span(id, StageKind::FlashBus, bus_span.saturating_sub(chip_span));
+        // All fragments cross the system bus to be XORed at the front end.
+        let frag_bytes = bytes * (geo.channels as u64 - 1);
+        let t = self.sysbus.enqueue(latest, frag_bytes, CLASS_IO);
+        self.report.sysbus_io_util.record_busy(t.start, t.done);
+        self.req_span(id, StageKind::SystemBus, t.done - latest);
+        self.queue.push(t.done, Ev::ReadDone { req: id, pages });
+    }
+
+    fn finish_pages(&mut self, req: ReqId, pages: u32) {
+        let done = {
+            let state = self.requests.get_mut(&req).expect("unknown request");
+            state.pages_left -= pages;
+            state.pages_left == 0
+        };
+        if !done {
+            return;
+        }
+        let state = self.requests.remove(&req).unwrap();
+        self.outstanding -= 1;
+        let latency = self.now - state.arrived;
+        self.report.io_latency.record(latency);
+        match state.op {
+            Op::Read => self.report.read_latency.record(latency),
+            Op::Write => self.report.write_latency.record(latency),
+        }
+        self.report.io_bw.record(self.now, self.page_bytes(state.total_pages));
+        self.report.io_breakdown.record(&state.spans);
+        self.report.requests_completed += 1;
+        if self.workload.is_some() {
+            self.queue.push(self.now, Ev::Admit);
+        }
+        self.check_gc();
+        self.pump_gc();
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection
+    // ------------------------------------------------------------------
+
+    fn check_gc(&mut self) {
+        if self.gc.is_some() || self.report.end_of_life.is_some() {
+            return;
+        }
+        if !self.config.gc_continuous && !self.ftl.needs_gc() {
+            return;
+        }
+        let Some(round) = self.ftl.start_gc_round() else { return };
+        self.report.first_gc_at.get_or_insert(self.now);
+        let mut pending: VecDeque<CopyGroup> = round.groups.iter().cloned().collect();
+        if matches!(self.config.ftl.policy, dssd_ftl::GcPolicy::TinyTail { .. }) {
+            // Partial GC proceeds channel by channel.
+            let mut v: Vec<CopyGroup> = pending.into_iter().collect();
+            v.sort_by_key(|g| g.src_die.channel);
+            pending = v.into();
+        }
+        self.gc = Some(GcState {
+            copies_expected: round.valid_pages,
+            round,
+            pending,
+            copies_done: 0,
+            erases_outstanding: 0,
+            channel_inflight: HashMap::new(),
+        });
+        self.pump_gc();
+    }
+
+    fn pump_gc(&mut self) {
+        if self.report.end_of_life.is_some() {
+            return;
+        }
+        loop {
+            let Some(gc) = &self.gc else { return };
+            if gc.pending.is_empty() {
+                self.maybe_finish_round();
+                return;
+            }
+            let host_idle = self.outstanding == 0;
+            let must = self.ftl.must_gc();
+            let policy = self.config.ftl.policy;
+            if !policy.allows_issue(host_idle, must) {
+                return;
+            }
+            let limit = policy.channel_limit(self.config.geometry.channels as usize);
+
+            // Find the first issuable group. (dBUF back-pressure is
+            // applied later, at the flash-bus transfer into the buffer —
+            // the page read itself only occupies the die's page register.)
+            let gc = self.gc.as_ref().unwrap();
+            let active = gc.channel_inflight.values().filter(|&&v| v > 0).count();
+            let mut picked = None;
+            for i in 0..gc.pending.len() {
+                let ch = gc.pending[i].src_die.channel;
+                let inflight = gc.channel_inflight.get(&ch).copied().unwrap_or(0);
+                if inflight >= GC_PER_CHANNEL_INFLIGHT {
+                    continue;
+                }
+                if inflight == 0 && active >= limit {
+                    continue;
+                }
+                picked = Some(i);
+                break;
+            }
+            let Some(i) = picked else { return };
+
+            let group = self.gc.as_mut().unwrap().pending.remove(i).unwrap();
+            self.issue_copy(group);
+        }
+    }
+
+    fn issue_copy(&mut self, group: CopyGroup) {
+        let want = group.pages.len() as u32;
+        let Some(dst_group) = self.ftl.try_alloc_gc_group(want) else {
+            // No erased superblock left to copy into: the device has
+            // reached end of life. GC stops; writes block permanently.
+            self.report.end_of_life.get_or_insert(self.now);
+            self.gc = None;
+            return;
+        };
+        let take = dst_group.len().min(group.pages.len());
+
+        // If the allocator returned fewer slots (die row boundary), the
+        // remainder goes back to the pending queue as its own group.
+        if take < group.pages.len() {
+            let rest = CopyGroup {
+                src_die: group.src_die,
+                pages: group.pages[take..].to_vec(),
+            };
+            if let Some(gc) = &mut self.gc {
+                gc.pending.push_front(rest);
+            }
+        }
+
+        let pages: Vec<(Lpn, PageAddr, PageAddr)> = group.pages[..take]
+            .iter()
+            .zip(dst_group.addrs.iter())
+            .map(|(&(lpn, src), &dst)| (lpn, src, dst))
+            .collect();
+        let src = pages[0].1;
+        let dst = pages[0].2;
+        let src_ch = group.src_die.channel;
+
+        let id = self.next_job;
+        self.next_job += 1;
+        let dst_node = self.effective_addr(dst).channel as usize;
+        let src_node = self.effective_addr(src).channel as usize;
+        let cmd = self.controllers[src_node]
+            .queue_mut()
+            .submit(CommandKind::Copyback { dst_node });
+        self.jobs.insert(
+            id,
+            CopyJob {
+                pages,
+                src,
+                dst,
+                spans: Vec::new(),
+                packets_in_flight: 0,
+                holds_src_dbuf: false,
+                cmd,
+            },
+        );
+        if let Some(gc) = &mut self.gc {
+            *gc.channel_inflight.entry(src_ch).or_insert(0) += 1;
+        }
+
+        // Source read (multi-plane).
+        let eff_src = self.effective_addr(src);
+        let die = self.effective_die_index(src);
+        let lat = FlashOp::multi_plane(FlashOpKind::Read, eff_src, take as u32)
+            .array_latency(&self.config.timing, &mut self.rng);
+        let (_, done) = self.dies.occupy(die, self.now, lat);
+        self.job_span(id, StageKind::FlashChip, done - self.now);
+        self.queue.push(done, Ev::CopyAtSrcBus { job: id });
+    }
+
+    fn copy_transport(&mut self, job: JobId) {
+        let j = &self.jobs[&job];
+        let src_ch = self.effective_addr(j.src).channel;
+        let dst_ch = self.effective_addr(j.dst).channel;
+        let same_channel = src_ch == dst_ch;
+        match self.config.architecture {
+            Architecture::Baseline | Architecture::ExtraBandwidth => {
+                // ctrl -> system bus -> DRAM -> system bus -> ctrl, one
+                // transaction per scattered page.
+                let n = self.jobs[&job].pages.len() as u32;
+                let t = self.sysbus_xfer_pages(n, CLASS_GC);
+                self.job_span(job, StageKind::SystemBus, t.1 - self.now);
+                self.queue.push(t.1, Ev::CopyAtDram { job });
+            }
+            Architecture::Dssd => {
+                if same_channel {
+                    self.queue.push(self.now, Ev::CopyAtDstBus { job });
+                } else {
+                    // Controller-to-controller: the group was gathered in
+                    // the source dBUF, so it crosses as one burst.
+                    let bytes = self.page_bytes(self.jobs[&job].pages.len() as u32);
+                    let t = self.sysbus_xfer(bytes, CLASS_GC);
+                    self.job_span(job, StageKind::SystemBus, t.1 - self.now);
+                    self.queue.push(t.1, Ev::CopyAtDstBus { job });
+                }
+            }
+            Architecture::DssdBus => {
+                if same_channel {
+                    self.queue.push(self.now, Ev::CopyAtDstBus { job });
+                } else {
+                    // One burst per gathered group over the dedicated bus.
+                    let bytes = self.page_bytes(self.jobs[&job].pages.len() as u32);
+                    let bus = self.dedicated_bus.as_mut().expect("dSSD_b has a bus");
+                    let t = bus.enqueue(self.now, bytes, CLASS_GC);
+                    self.job_span(job, StageKind::Noc, t.done - self.now);
+                    self.queue.push(t.done, Ev::CopyAtDstBus { job });
+                }
+            }
+            Architecture::DssdFnoc => {
+                if same_channel {
+                    // Stays inside the controller; release the dBUF at
+                    // the destination program.
+                    self.queue.push(self.now, Ev::CopyAtDstBus { job });
+                    return;
+                }
+                // Packetize: one packet per page (Fig 4 step 5).
+                let page_bytes = self.config.geometry.page_bytes as u64;
+                let n = self.jobs[&job].pages.len() as u32;
+                self.jobs.get_mut(&job).unwrap().packets_in_flight = n;
+                for _ in 0..n {
+                    let pid = self.next_packet;
+                    self.next_packet += 1;
+                    self.packet_jobs.insert(pid, job);
+                    let pkt = Packet::new(pid, src_ch as usize, dst_ch as usize, page_bytes)
+                        .with_tag(job);
+                    let step = self.noc.as_mut().expect("dSSD_f has a NoC").inject(self.now, pkt);
+                    self.absorb_noc(step);
+                }
+                self.cmd_advance_to(job, dssd_ctrl::CopybackStage::InNetwork);
+                // Source dBUF slots free once the pages are handed to
+                // the NI.
+                self.release_src_dbuf(job);
+            }
+        }
+    }
+
+    fn release_src_dbuf(&mut self, job: JobId) {
+        let j = self.jobs.get_mut(&job).unwrap();
+        if !j.holds_src_dbuf {
+            return;
+        }
+        j.holds_src_dbuf = false;
+        let n = j.pages.len();
+        let src = j.src;
+        let ch = self.effective_addr(src).channel as usize;
+        for _ in 0..n {
+            self.controllers[ch].dbuf_mut().release();
+        }
+        self.wake_dbuf_waiters(ch);
+        self.pump_gc();
+    }
+
+    /// Re-attempts the flash-bus transfer of copies stalled on dBUF
+    /// space at `channel`.
+    fn wake_dbuf_waiters(&mut self, channel: usize) {
+        while let Some(job) = self.dbuf_waiters[channel].pop_front() {
+            let need = self.jobs[&job].pages.len();
+            if self.controllers[channel].dbuf().available() < need {
+                self.dbuf_waiters[channel].push_front(job);
+                break;
+            }
+            self.queue.push(self.now, Ev::CopyAtSrcBus { job });
+        }
+    }
+
+    fn noc_event(&mut self, ev: NocEvent) {
+        let step = self.noc.as_mut().expect("NoC event without NoC").handle(self.now, ev);
+        self.absorb_noc(step);
+    }
+
+    fn absorb_noc(&mut self, step: dssd_noc::Step) {
+        for (t, e) in step.schedule {
+            self.queue.push(t, Ev::Noc(e));
+        }
+        for d in step.delivered {
+            let job = self
+                .packet_jobs
+                .remove(&d.packet.id)
+                .expect("delivered packet without job");
+            let j = self.jobs.get_mut(&job).unwrap();
+            j.packets_in_flight -= 1;
+            if j.packets_in_flight == 0 {
+                self.job_span(job, StageKind::Noc, d.latency());
+                self.queue.push(self.now, Ev::CopyAtDstBus { job });
+            }
+        }
+    }
+
+    fn copy_done(&mut self, job: JobId) {
+        self.cmd_advance_to(job, dssd_ctrl::CopybackStage::Done);
+        let j = self.jobs.remove(&job).expect("unknown copy job");
+        let src_ch = self.effective_addr(j.src).channel as usize;
+        self.controllers[src_ch].queue_mut().retire(j.cmd);
+        let bytes = self.page_bytes(j.pages.len() as u32);
+        debug_assert!(!j.holds_src_dbuf, "dBUF released before program");
+        for &(lpn, src, dst) in &j.pages {
+            self.ftl.complete_copy(lpn, src, dst);
+        }
+        self.report.gc_pages_copied += j.pages.len() as u64;
+        self.report.gc_bw.record(self.now, bytes);
+        self.report.copyback_breakdown.record(&j.spans);
+        if let Some(gc) = &mut self.gc {
+            gc.copies_done += j.pages.len();
+            let e = gc.channel_inflight.get_mut(&j.src.channel).expect("inflight");
+            *e -= 1;
+        }
+        // Unblock any writes waiting for space (stale copies may already
+        // have freed mapping slots? no — space frees at erase; but retry
+        // is harmless).
+        self.maybe_finish_round();
+        self.pump_gc();
+    }
+
+    fn maybe_finish_round(&mut self) {
+        let Some(gc) = &self.gc else { return };
+        if !gc.pending.is_empty()
+            || gc.copies_done < gc.copies_expected
+            || gc.erases_outstanding > 0
+        {
+            return;
+        }
+        if gc.round.erases.is_empty() {
+            self.finish_round();
+            return;
+        }
+        // Erase each die's sub-blocks as one multi-plane erase.
+        let mut per_die: HashMap<usize, u32> = HashMap::new();
+        for b in &self.gc.as_ref().unwrap().round.erases {
+            let die = self.effective_die_index(b.page(0));
+            *per_die.entry(die).or_insert(0) += 1;
+        }
+        let gc = self.gc.as_mut().unwrap();
+        gc.erases_outstanding = per_die.len();
+        let timing = self.config.timing;
+        for (_die, planes) in per_die {
+            let lat = FlashOp::multi_plane(
+                FlashOpKind::Erase,
+                PageAddr { channel: 0, way: 0, die: 0, plane: 0, block: 0, page: 0 },
+                planes,
+            )
+            .array_latency(&timing, &mut self.rng);
+            // Erase suspension: the erase delays the GC round by its full
+            // latency but host operations preempt it, so the die is not
+            // modeled as blocked (standard controller technique — without
+            // it every architecture's p99 is pinned at tBERS).
+            self.queue.push(self.now + lat, Ev::EraseDone);
+        }
+    }
+
+    fn erase_done(&mut self) {
+        let gc = self.gc.as_mut().expect("erase without round");
+        gc.erases_outstanding -= 1;
+        if gc.erases_outstanding == 0 {
+            self.finish_round();
+        }
+    }
+
+    fn finish_round(&mut self) {
+        let gc = self.gc.take().expect("finishing absent round");
+        self.ftl.finish_gc_round(&gc.round);
+        self.report.gc_rounds += 1;
+        self.apply_wear(&gc.round);
+        self.pump_flush();
+        // Retry blocked writes now that a superblock is free.
+        let blocked: Vec<_> = self.blocked_writes.drain(..).collect();
+        for (id, r) in blocked {
+            // The request keeps its original arrival time.
+            let lpns: Vec<Lpn> = r.lpns().map(|l| l % self.ftl.lpn_count()).collect();
+            match self.ftl.write_pages(&lpns) {
+                Some(groups) => {
+                    for g in groups {
+                        let addr = self.effective_addr(g.addrs[0]);
+                        let die = self.effective_die_index(g.addrs[0]);
+                        let pages = g.len() as u32;
+                        let bytes = self.page_bytes(pages);
+                        let t = self.sysbus_xfer(bytes, CLASS_IO);
+                        self.req_span(id, StageKind::SystemBus, t.1 - self.now);
+                        self.queue.push(
+                            t.1,
+                            Ev::WriteAtCtrl { req: id, die, pages, channel: addr.channel },
+                        );
+                    }
+                }
+                None => self.blocked_writes.push_back((id, r)),
+            }
+        }
+        self.check_gc();
+        self.pump_gc();
+    }
+
+    // ------------------------------------------------------------------
+    // Write-buffer flushing
+    // ------------------------------------------------------------------
+
+    /// Flushes dirty cache pages to flash in the background: the flush
+    /// traffic occupies the system bus, flash buses and dies exactly like
+    /// host writes, but nothing waits on it, so it is charged
+    /// analytically (no completion events).
+    fn pump_flush(&mut self) {
+        if self.cache.is_none() {
+            return;
+        }
+        loop {
+            let mut batch: Vec<Lpn> = self.flush_backlog.drain(..).collect();
+            if batch.is_empty() {
+                let cache = self.cache.as_mut().unwrap();
+                if !cache.needs_flush() {
+                    return;
+                }
+                batch = cache.take_dirty(64);
+                if batch.is_empty() {
+                    return;
+                }
+            }
+            match self.ftl.write_pages(&batch) {
+                Some(groups) => {
+                    for g in groups {
+                        let addr = self.effective_addr(g.addrs[0]);
+                        let die = self.effective_die_index(g.addrs[0]);
+                        let bytes = self.page_bytes(g.len() as u32);
+                        let (_, bus_done) = self.sysbus_xfer(bytes, CLASS_IO);
+                        let t = self.flash_bus[addr.channel as usize]
+                            .enqueue(bus_done, bytes, CLASS_IO);
+                        let lat = FlashOp::multi_plane(
+                            FlashOpKind::Program,
+                            g.addrs[0],
+                            g.len() as u32,
+                        )
+                        .array_latency(&self.config.timing, &mut self.rng);
+                        self.dies.occupy(die, t.done, lat);
+                    }
+                    self.check_gc();
+                }
+                None => {
+                    // Out of space: keep the batch and wait for GC.
+                    self.flush_backlog = batch.into();
+                    self.check_gc();
+                    return;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // WAS endurance scan (Fig 14c)
+    // ------------------------------------------------------------------
+
+    fn scan_tick(&mut self) {
+        let Some(was) = self.config.was_scan else { return };
+        self.scan_remaining += was.tracked_blocks;
+        self.pump_scan();
+        let next = self.now + was.interval;
+        if next <= self.horizon {
+            self.queue.push(next, Ev::ScanTick);
+        }
+    }
+
+    fn pump_scan(&mut self) {
+        while self.scan_remaining > 0 && self.scan_inflight < SCAN_INFLIGHT {
+            self.scan_remaining -= 1;
+            self.scan_inflight += 1;
+            // One page read from a random die, through flash bus, system
+            // bus and into DRAM — the software path WAS must take.
+            let die = self.rng.index(self.dies.len());
+            let geo = self.config.geometry;
+            let ch = (self.config.geometry.die_at(die).channel) as usize;
+            let read = FlashOp::single(
+                FlashOpKind::Read,
+                PageAddr { channel: ch as u32, way: 0, die: 0, plane: 0, block: 0, page: 0 },
+            )
+            .array_latency(&self.config.timing, &mut self.rng);
+            let (_, die_done) = self.dies.occupy(die, self.now, read);
+            let bytes = geo.page_bytes as u64;
+            let t1 = self.flash_bus[ch].enqueue(die_done, bytes, CLASS_SCAN);
+            let t2 = self.sysbus_xfer_at(t1.done, bytes, CLASS_SCAN);
+            let t3 = self.dram.enqueue(t2.1, bytes, CLASS_SCAN);
+            self.queue.push(t3.done, Ev::ScanReadDone);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Copyback command-queue tracking (Fig 4's R/RE/N/W status field)
+    // ------------------------------------------------------------------
+
+    /// Advances job `job`'s copyback command until it reaches `target`.
+    fn cmd_advance_to(&mut self, job: JobId, target: dssd_ctrl::CopybackStage) {
+        let Some(j) = self.jobs.get(&job) else { return };
+        let ch = self.effective_addr(j.src).channel as usize;
+        let cmd = j.cmd;
+        while self.controllers[ch]
+            .queue()
+            .stage(cmd)
+            .is_some_and(|s| s < target)
+        {
+            self.controllers[ch].queue_mut().advance(cmd);
+        }
+    }
+
+    /// The decoupled controller command queue of `channel` (inspection).
+    #[must_use]
+    pub fn command_queue(&self, channel: usize) -> &CommandQueue {
+        self.controllers[channel].queue()
+    }
+
+    /// The decoupled controller of `channel` (inspection).
+    #[must_use]
+    pub fn controller(&self, channel: usize) -> &DecoupledController {
+        &self.controllers[channel]
+    }
+
+    // ------------------------------------------------------------------
+    // Online dynamic superblocks (Sec 5)
+    // ------------------------------------------------------------------
+
+    /// Charges accelerated wear for the round's erases; worn sub-blocks
+    /// are repaired through the SRT/RBT on decoupled architectures or
+    /// retire the superblock outright.
+    fn apply_wear(&mut self, round: &dssd_ftl::GcRound) {
+        let Some(d) = self.config.dynamic_sb else { return };
+        if self.wear.is_none() {
+            return;
+        }
+        let mut worn = Vec::new();
+        for b in &round.erases {
+            // Wear accrues on the block physically backing the slot.
+            let idx = self.resolve_block(*b);
+            let wear = self.wear.as_mut().unwrap();
+            if wear.is_worn_out(idx as usize) {
+                continue;
+            }
+            let mut dead = false;
+            for _ in 0..d.wear_acceleration.max(1) {
+                if wear.erase(idx as usize) == EraseOutcome::WornOut {
+                    dead = true;
+                    break;
+                }
+            }
+            if dead {
+                worn.push(*b);
+            }
+        }
+        if worn.is_empty() {
+            return;
+        }
+        let mut repaired_all = true;
+        if self.config.architecture.is_decoupled() {
+            for b in &worn {
+                if !self.try_remap_worn(*b) {
+                    repaired_all = false;
+                }
+            }
+        } else {
+            repaired_all = false;
+        }
+        if repaired_all {
+            return;
+        }
+        // Conventional bad-superblock management: retire it whole. The
+        // round's victim was just erased, so it holds no valid pages.
+        if self.ftl.retire_superblock(round.victim) {
+            self.report.bad_superblocks += 1;
+            if self.config.architecture.is_decoupled() {
+                // Still-good sub-blocks feed the recycle bins.
+                for b in self.ftl.layout().sub_blocks(round.victim).collect::<Vec<_>>() {
+                    let idx = self.resolve_block(b);
+                    if !self.wear.as_ref().unwrap().is_worn_out(idx as usize) {
+                        let _ = self.controllers[b.channel as usize].rbt_mut().deposit(idx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replaces a worn sub-block with a recycled one: SRT entry in the
+    /// failing controller plus a live timing remap, so the replacement's
+    /// channel/die conflicts are visible to every subsequent access.
+    fn try_remap_worn(&mut self, b: dssd_flash::BlockAddr) -> bool {
+        let geo = self.config.geometry;
+        let ch = b.channel as usize;
+        let spare = self.controllers[ch].rbt_mut().take().or_else(|| {
+            (0..self.controllers.len())
+                .filter(|&c| c != ch)
+                .find_map(|c| self.controllers[c].rbt_mut().take())
+        });
+        let Some(spare) = spare else { return false };
+        let key = geo.block_index(b) as u32;
+        if self.controllers[ch].srt_mut().insert(key, spare).is_err() {
+            let _ = self.controllers[ch].rbt_mut().deposit(spare);
+            return false;
+        }
+        let spare_addr = geo.block_at(spare as usize);
+        let die_idx = b.channel + geo.channels * b.way + geo.channels * geo.ways * b.die;
+        self.remap.insert(
+            (b.block, die_idx),
+            (spare_addr.channel, spare_addr.way, spare_addr.die),
+        );
+        self.report.dynamic_remaps += 1;
+        true
+    }
+
+    /// The block physically backing slot `b` after any SRT remapping.
+    fn resolve_block(&self, b: dssd_flash::BlockAddr) -> u32 {
+        let geo = self.config.geometry;
+        let key = geo.block_index(b) as u32;
+        self.controllers
+            .get(b.channel as usize)
+            .and_then(|c| c.srt().lookup(key))
+            .unwrap_or(key)
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    fn page_bytes(&self, pages: u32) -> u64 {
+        pages as u64 * self.config.geometry.page_bytes as u64
+    }
+
+    /// Enqueues a system-bus transfer at `now`, recording utilization.
+    fn sysbus_xfer(&mut self, bytes: u64, class: usize) -> (SimTime, SimTime) {
+        self.sysbus_xfer_at(self.now, bytes, class)
+    }
+
+    fn sysbus_xfer_at(&mut self, at: SimTime, bytes: u64, class: usize) -> (SimTime, SimTime) {
+        let t = self.sysbus.enqueue(at, bytes, class);
+        match class {
+            CLASS_IO => self.report.sysbus_io_util.record_busy(t.start, t.done),
+            CLASS_GC => self.report.sysbus_gc_util.record_busy(t.start, t.done),
+            _ => {}
+        }
+        (t.start, t.done)
+    }
+
+    /// GC moves scattered pages, so each page is its own bus transaction
+    /// (own descriptor + arbitration), unlike host bursts. Returns the
+    /// first start and last completion.
+    fn sysbus_xfer_pages(&mut self, n: u32, class: usize) -> (SimTime, SimTime) {
+        let page = self.config.geometry.page_bytes as u64;
+        let extra = self.config.gc_page_overhead;
+        let mut first = self.now;
+        let mut last = self.now;
+        for i in 0..n {
+            let t = self.sysbus.enqueue_extra(self.now, page, class, extra);
+            match class {
+                CLASS_IO => self.report.sysbus_io_util.record_busy(t.start, t.done),
+                CLASS_GC => self.report.sysbus_gc_util.record_busy(t.start, t.done),
+                _ => {}
+            }
+            if i == 0 {
+                first = t.start;
+            }
+            last = t.done;
+        }
+        (first, last)
+    }
+
+    /// Per-page DRAM transactions for GC staging.
+    fn dram_xfer_pages(&mut self, n: u32, class: usize) -> (SimTime, SimTime) {
+        let page = self.config.geometry.page_bytes as u64;
+        let extra = self.config.gc_page_overhead;
+        let mut first = self.now;
+        let mut last = self.now;
+        for i in 0..n {
+            let tr = self.dram.enqueue_extra(self.now, page, class, extra);
+            if i == 0 {
+                first = tr.start;
+            }
+            last = tr.done;
+        }
+        (first, last)
+    }
+
+    fn req_span(&mut self, req: ReqId, stage: StageKind, span: SimSpan) {
+        if let Some(r) = self.requests.get_mut(&req) {
+            r.spans.push((stage, span));
+        }
+    }
+
+    fn job_span(&mut self, job: JobId, stage: StageKind, span: SimSpan) {
+        if let Some(j) = self.jobs.get_mut(&job) {
+            j.spans.push((stage, span));
+        }
+    }
+
+    fn job_src(&self, job: JobId) -> (u64, usize) {
+        let j = &self.jobs[&job];
+        (
+            self.page_bytes(j.pages.len() as u32),
+            self.effective_addr(j.src).channel as usize,
+        )
+    }
+
+    fn job_dst(&self, job: JobId) -> (u64, usize) {
+        let j = &self.jobs[&job];
+        (
+            self.page_bytes(j.pages.len() as u32),
+            self.effective_addr(j.dst).channel as usize,
+        )
+    }
+
+    /// Applies the timing-level SRT remap (Fig 15a) to an address.
+    fn effective_addr(&self, addr: PageAddr) -> PageAddr {
+        if self.remap.is_empty() {
+            return addr;
+        }
+        let g = &self.config.geometry;
+        let die_idx = addr.channel + g.channels * addr.way + g.channels * g.ways * addr.die;
+        match self.remap.get(&(addr.block, die_idx)) {
+            Some(&(ch, way, die)) => PageAddr { channel: ch, way, die, ..addr },
+            None => addr,
+        }
+    }
+
+    fn effective_die_index(&self, addr: PageAddr) -> usize {
+        self.effective_die_index_raw(self.effective_addr(addr))
+    }
+
+    fn effective_die_index_raw(&self, addr: PageAddr) -> usize {
+        self.config.geometry.die_index(addr.die_addr())
+    }
+}
+
+/// `SyntheticWorkload::bind` applied lazily: the sim binds the workload to
+/// its own LPN space.
+trait BindCheck {
+    fn bind_check(self, lpn_count: u64) -> SyntheticWorkload;
+}
+
+impl BindCheck for SyntheticWorkload {
+    fn bind_check(self, lpn_count: u64) -> SyntheticWorkload {
+        self.bind(lpn_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Architecture;
+    use dssd_workload::AccessPattern;
+
+    fn run(
+        arch: Architecture,
+        pages: u32,
+        prefill: bool,
+        ms: u64,
+    ) -> (f64, f64, u64) {
+        let mut sim = SsdSim::new(SsdConfig::test_tiny(arch));
+        if prefill {
+            sim.prefill();
+        }
+        let wl = SyntheticWorkload::writes(AccessPattern::Random, pages);
+        let report = sim.run_closed_loop(wl, SimSpan::from_ms(ms));
+        (
+            report.io_bandwidth_gbps(),
+            report.gc_bandwidth_gbps(),
+            report.gc_rounds,
+        )
+    }
+
+    #[test]
+    fn fresh_drive_low_bandwidth_matches_calibration() {
+        // test_tiny: 8 ch x 8 ways = 64 dies; 4 KB random writes with no
+        // GC: 64 x 51.2 MB/s = 3.28 GB/s — the paper's "approximately
+        // 3 GB/s ... sustained initially" (Fig 2a).
+        let (io, gc, _) = run(Architecture::Baseline, 1, false, 10);
+        assert!(gc < 1e-3, "no GC expected on a fresh drive, got {gc}");
+        assert!((io - 3.28).abs() < 0.35, "io {io} GB/s vs expected 3.28");
+    }
+
+    #[test]
+    fn fresh_drive_high_bandwidth_uses_planes() {
+        // 8-page (32 KB) writes: 64 dies x 409.6 MB/s = 26 GB/s of
+        // demand, capped near the 8 GB/s system bus (the paper's
+        // "maximum bandwidth ... approximately 8 GB/s"). Short window:
+        // the tiny test drive has ~200 MB of headroom before GC.
+        let (io, _, _) = run(Architecture::Baseline, 8, false, 5);
+        assert!(io > 6.0, "io {io} GB/s should approach the 8 GB/s bus");
+        assert!(io < 8.2, "io {io} GB/s exceeds the system bus");
+    }
+
+    #[test]
+    fn gc_degrades_baseline_io() {
+        let (fresh, _, _) = run(Architecture::Baseline, 8, false, 5);
+        let (aged, gc, rounds) = run(Architecture::Baseline, 8, true, 20);
+        assert!(rounds > 0, "prefilled drive must run GC");
+        assert!(gc > 0.0);
+        assert!(
+            aged < fresh * 0.85,
+            "GC must visibly degrade I/O: fresh {fresh}, aged {aged}"
+        );
+    }
+
+    #[test]
+    fn decoupled_architectures_beat_baseline_under_gc() {
+        // The Fig 7 regime: I/O fully utilizes the SSD while GC runs
+        // continuously.
+        let measure = |arch: Architecture| {
+            let mut cfg = SsdConfig::test_tiny(arch);
+            cfg.gc_continuous = true;
+            let mut sim = SsdSim::new(cfg);
+            sim.prefill();
+            let wl = SyntheticWorkload::writes(AccessPattern::Random, 8);
+            let r = sim.run_closed_loop(wl, SimSpan::from_ms(25));
+            (r.io_bandwidth_gbps(), r.gc_bandwidth_gbps())
+        };
+        let (base_io, base_gc) = measure(Architecture::Baseline);
+        let (fnoc_io, fnoc_gc) = measure(Architecture::DssdFnoc);
+        assert!(
+            fnoc_io > base_io * 1.15,
+            "dSSD_f io {fnoc_io} must clearly beat baseline {base_io}"
+        );
+        assert!(
+            fnoc_gc > base_gc * 1.10,
+            "dSSD_f gc {fnoc_gc} must clearly beat baseline {base_gc}"
+        );
+    }
+
+    #[test]
+    fn all_architectures_run_and_complete_requests() {
+        for arch in Architecture::all() {
+            let mut sim = SsdSim::new(SsdConfig::test_tiny(arch));
+            sim.prefill();
+            let wl = SyntheticWorkload::writes(AccessPattern::Random, 4);
+            let report = sim.run_closed_loop(wl, SimSpan::from_ms(10));
+            assert!(
+                report.requests_completed > 100,
+                "{}: only {} requests",
+                arch.label(),
+                report.requests_completed
+            );
+        }
+    }
+
+    #[test]
+    fn dram_hit_workload_reaches_sysbus_bandwidth() {
+        let mut sim = SsdSim::new(SsdConfig::test_tiny(Architecture::Baseline));
+        let wl = SyntheticWorkload::writes(AccessPattern::Random, 8)
+            .with_dram_hit_fraction(1.0);
+        let report = sim.run_closed_loop(wl, SimSpan::from_ms(10));
+        let io = report.io_bandwidth_gbps();
+        // 8 GB/s system bus minus per-transaction overhead.
+        assert!(io > 6.0, "DRAM-hit io {io} GB/s");
+        assert!(report.gc_rounds == 0);
+    }
+
+    #[test]
+    fn dram_hit_io_isolated_from_gc_only_on_dssd_f() {
+        let measure = |arch: Architecture| {
+            let mut cfg = SsdConfig::test_tiny(arch);
+            cfg.gc_continuous = true;
+            let mut sim = SsdSim::new(cfg);
+            sim.prefill();
+            // All host I/O hits DRAM, while GC rages underneath; hold
+            // moderate load so contention (not QD) limits throughput.
+            let wl = SyntheticWorkload::writes(AccessPattern::Random, 8)
+                .with_dram_hit_fraction(1.0)
+                .with_queue_depth(8);
+            // write pressure to keep GC running comes from GC trigger at
+            // prefill edge: inject flash writes via a second phase is not
+            // needed; prefill left us below threshold, so GC starts at
+            // the first check.
+            let report = sim.run_closed_loop(wl, SimSpan::from_ms(10));
+            (report.io_bandwidth_gbps(), report.gc_pages_copied)
+        };
+        let (base_io, base_copied) = measure(Architecture::Baseline);
+        let (fnoc_io, fnoc_copied) = measure(Architecture::DssdFnoc);
+        assert!(base_copied > 0 && fnoc_copied > 0, "GC must run in both");
+        assert!(
+            fnoc_io > base_io,
+            "GC steals bus from DRAM-hit I/O only on baseline: {base_io} vs {fnoc_io}"
+        );
+    }
+
+    #[test]
+    fn tail_latency_ordering_baseline_vs_fnoc() {
+        // The Fig 10a regime: DRAM-cached I/O with GC running
+        // underneath. Baseline copybacks clog the system bus the I/O
+        // needs; dSSD_f isolates them on the fNoC.
+        let p99 = |arch: Architecture| {
+            let mut cfg = SsdConfig::test_tiny(arch);
+            cfg.gc_continuous = true;
+            let mut sim = SsdSim::new(cfg);
+            sim.prefill();
+            let wl = SyntheticWorkload::writes(AccessPattern::Random, 8)
+                .with_dram_hit_fraction(1.0);
+            sim.run_closed_loop(wl, SimSpan::from_ms(15));
+            sim.report_mut().latency_percentile(0.99).as_us_f64()
+        };
+        let base = p99(Architecture::Baseline);
+        let fnoc = p99(Architecture::DssdFnoc);
+        assert!(
+            fnoc * 2.0 < base,
+            "dSSD_f p99 {fnoc}us must be far below baseline {base}us"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let go = || {
+            let mut sim = SsdSim::new(SsdConfig::test_tiny(Architecture::DssdFnoc));
+            sim.prefill();
+            let wl = SyntheticWorkload::writes(AccessPattern::Random, 8);
+            let r = sim.run_closed_loop(wl, SimSpan::from_ms(10));
+            (
+                r.requests_completed,
+                r.gc_pages_copied,
+                r.io_bw.total_bytes(),
+            )
+        };
+        assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn reads_flow_through_full_pipeline() {
+        let mut sim = SsdSim::new(SsdConfig::test_tiny(Architecture::Baseline));
+        sim.prefill();
+        let wl = SyntheticWorkload::reads(AccessPattern::Random, 1);
+        let report = sim.run_closed_loop(wl, SimSpan::from_ms(10));
+        assert!(report.requests_completed > 1000);
+        assert!(report.read_latency.count() > 0);
+        // Breakdown must include chip, flash bus, ecc and system bus.
+        let b = &report.io_breakdown;
+        assert!(b.mean_us(StageKind::FlashChip) > 0.0);
+        assert!(b.mean_us(StageKind::FlashBus) > 0.0);
+        assert!(b.mean_us(StageKind::Ecc) > 0.0);
+        assert!(b.mean_us(StageKind::SystemBus) > 0.0);
+    }
+
+    #[test]
+    fn copyback_breakdown_shows_architecture_difference() {
+        let breakdown = |arch: Architecture| {
+            let mut sim = SsdSim::new(SsdConfig::test_tiny(arch));
+            sim.prefill();
+            let wl = SyntheticWorkload::writes(AccessPattern::Random, 8);
+            sim.run_closed_loop(wl, SimSpan::from_ms(20));
+            (
+                sim.report().copyback_breakdown.mean_us(StageKind::SystemBus),
+                sim.report().copyback_breakdown.mean_us(StageKind::Noc),
+                sim.report().copyback_breakdown.count(),
+            )
+        };
+        let (base_sys, base_noc, base_n) = breakdown(Architecture::Baseline);
+        let (fnoc_sys, fnoc_noc, fnoc_n) = breakdown(Architecture::DssdFnoc);
+        assert!(base_n > 0 && fnoc_n > 0);
+        assert!(base_sys > 0.0, "baseline copyback must use the system bus");
+        assert!(base_noc == 0.0);
+        assert!(fnoc_sys == 0.0, "dSSD_f copyback must never use the system bus");
+        assert!(fnoc_noc > 0.0, "dSSD_f copyback must use the fNoC");
+    }
+
+    #[test]
+    fn srt_remaps_degrade_performance() {
+        // Fig 15a: remapped sub-blocks collide on channels/dies, which
+        // slows GC and — at steady state, where sustained writes are
+        // paced by GC reclaim — drags I/O down with it. A long window is
+        // needed so the space balance (not the transient) is measured.
+        let io_at = |remaps: usize| {
+            let mut cfg = SsdConfig::test_tiny(Architecture::DssdFnoc);
+            cfg.srt_active_remaps = remaps;
+            let mut sim = SsdSim::new(cfg);
+            sim.prefill();
+            let wl = SyntheticWorkload::writes(AccessPattern::Random, 8);
+            let r = sim.run_closed_loop(wl, SimSpan::from_ms(80));
+            (r.mean_latency().as_us_f64(), r.gc_bandwidth_gbps())
+        };
+        let (clean_lat, clean_gc) = io_at(0);
+        let (remapped_lat, remapped_gc) = io_at(1024);
+        assert!(
+            remapped_gc < clean_gc,
+            "heavy remapping must slow GC: {clean_gc} vs {remapped_gc}"
+        );
+        assert!(
+            remapped_lat > clean_lat,
+            "GC-paced writes must wait longer: {clean_lat}us vs {remapped_lat}us"
+        );
+    }
+
+    #[test]
+    fn was_scans_inflate_io_latency() {
+        let mean_latency = |scan: Option<crate::WasScanConfig>| {
+            let mut cfg = SsdConfig::test_tiny(Architecture::Baseline);
+            cfg.was_scan = scan;
+            let mut sim = SsdSim::new(cfg);
+            sim.prefill();
+            let wl = SyntheticWorkload::writes(AccessPattern::Random, 1);
+            let r = sim.run_closed_loop(wl, SimSpan::from_ms(15));
+            r.mean_latency().as_us_f64()
+        };
+        let without = mean_latency(None);
+        let with = mean_latency(Some(crate::WasScanConfig {
+            tracked_blocks: 16384,
+            interval: SimSpan::from_ms(3),
+        }));
+        assert!(
+            with > without * 1.05,
+            "WAS scans must contend with I/O: {without} vs {with}"
+        );
+    }
+
+    #[test]
+    fn trace_replay_completes() {
+        let mut sim = SsdSim::new(SsdConfig::test_tiny(Architecture::Baseline));
+        sim.prefill();
+        let reqs: Vec<(SimTime, Request)> = (0..500)
+            .map(|i| {
+                (
+                    SimTime::from_us(i * 20),
+                    Request::new(if i % 3 == 0 { Op::Read } else { Op::Write }, i * 7, 2),
+                )
+            })
+            .collect();
+        let report = sim.run_trace(reqs, SimSpan::from_ms(50));
+        assert_eq!(report.requests_completed, 500);
+        assert!(report.mean_latency().as_ns() > 0);
+    }
+}
+
+#[cfg(test)]
+mod dynamic_sb_tests {
+    use super::*;
+    use crate::{Architecture, DynamicSbConfig};
+    use dssd_workload::AccessPattern;
+
+    fn aged_config(arch: Architecture) -> SsdConfig {
+        let mut cfg = SsdConfig::test_tiny(arch);
+        cfg.gc_continuous = true;
+        // Accelerated aging: blocks survive only a handful of erases, so
+        // wear-out events occur within a short window.
+        cfg.dynamic_sb = Some(DynamicSbConfig {
+            pe_mean: 8.0,
+            pe_sigma: 4.0,
+            wear_acceleration: 4,
+            ..DynamicSbConfig::default()
+        });
+        cfg
+    }
+
+    fn run(cfg: SsdConfig, ms: u64) -> SsdSim {
+        let mut sim = SsdSim::new(cfg);
+        sim.prefill();
+        let wl = SyntheticWorkload::writes(AccessPattern::Random, 8);
+        sim.run_closed_loop(wl, SimSpan::from_ms(ms));
+        sim
+    }
+
+    #[test]
+    fn decoupled_architecture_repairs_worn_blocks() {
+        let sim = run(aged_config(Architecture::DssdFnoc), 60);
+        let r = sim.report();
+        assert!(
+            r.dynamic_remaps > 0,
+            "worn sub-blocks must be recycled through the SRT/RBT"
+        );
+        assert!(r.gc_rounds > 0);
+    }
+
+    #[test]
+    fn conventional_architecture_only_retires() {
+        let sim = run(aged_config(Architecture::Baseline), 60);
+        let r = sim.report();
+        assert_eq!(r.dynamic_remaps, 0, "no SRT hardware on the baseline");
+        assert!(
+            r.bad_superblocks > 0,
+            "accelerated wear must kill superblocks on the baseline"
+        );
+        assert_eq!(
+            sim.ftl().retired_superblocks().len(),
+            r.bad_superblocks as usize
+        );
+    }
+
+    #[test]
+    fn recycling_loses_fewer_superblocks_than_retiring() {
+        let base = run(aged_config(Architecture::Baseline), 60);
+        let fnoc = run(aged_config(Architecture::DssdFnoc), 60);
+        // Same wear distribution and comparable GC volume: the decoupled
+        // controller keeps superblocks alive that the baseline loses.
+        assert!(
+            fnoc.report().bad_superblocks < base.report().bad_superblocks,
+            "recycled {} vs retired {}",
+            fnoc.report().bad_superblocks,
+            base.report().bad_superblocks
+        );
+    }
+
+    #[test]
+    fn reservation_prefill_shrinks_visible_pool() {
+        let mut cfg = aged_config(Architecture::DssdFnoc);
+        if let Some(d) = &mut cfg.dynamic_sb {
+            d.reserved_fraction = 0.1;
+        }
+        // Reservation retires superblocks up front (invisible to the FTL,
+        // visible as retired + recycled stock).
+        let sim = SsdSim::new(cfg);
+        assert!(!sim.ftl().retired_superblocks().is_empty());
+    }
+
+    #[test]
+    fn copyback_commands_are_tracked_and_retired() {
+        let sim = run(
+            {
+                let mut c = SsdConfig::test_tiny(Architecture::DssdFnoc);
+                c.gc_continuous = true;
+                c
+            },
+            15,
+        );
+        let mut submitted = 0;
+        for ch in 0..sim.config().geometry.channels as usize {
+            let q = sim.command_queue(ch);
+            submitted += q.submitted();
+            // In-flight commands are only those of the currently active
+            // round; every finished copy was retired.
+            assert_eq!(q.submitted() - q.retired(), q.len() as u64, "channel {ch}");
+        }
+        assert!(submitted > 100, "copyback commands must flow: {submitted}");
+    }
+}
+
+#[cfg(test)]
+mod end_of_life_tests {
+    use super::*;
+    use crate::{Architecture, DynamicSbConfig};
+    use dssd_workload::AccessPattern;
+
+    /// The paper's headline lifetime claim, validated online: under
+    /// identical accelerated wear, the drive with recycled blocks
+    /// reaches wear-out end-of-life later than the conventional one.
+    #[test]
+    fn recycling_extends_online_lifetime() {
+        let eol = |arch: Architecture| {
+            let mut cfg = SsdConfig::test_tiny(arch);
+            cfg.gc_continuous = true;
+            cfg.dynamic_sb = Some(DynamicSbConfig {
+                pe_mean: 5.0,
+                pe_sigma: 2.5,
+                wear_acceleration: 5,
+                ..DynamicSbConfig::default()
+            });
+            let mut sim = SsdSim::new(cfg);
+            sim.prefill();
+            let wl = SyntheticWorkload::writes(AccessPattern::Random, 8);
+            let r = sim.run_closed_loop(wl, SimSpan::from_ms(250));
+            (r.end_of_life, r.io_bw.total_bytes())
+        };
+        let (base_eol, base_bytes) = eol(Architecture::Baseline);
+        let (fnoc_eol, fnoc_bytes) = eol(Architecture::DssdFnoc);
+        assert!(base_eol.is_some(), "baseline must wear out in this regime");
+        match fnoc_eol {
+            None => {} // outlived the whole window: strictly better
+            Some(t) => assert!(
+                t > base_eol.unwrap(),
+                "recycling must delay EOL: {t} vs {}",
+                base_eol.unwrap()
+            ),
+        }
+        assert!(
+            fnoc_bytes > base_bytes,
+            "more host data written before death: {fnoc_bytes} vs {base_bytes}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod gc_policy_tests {
+    use super::*;
+    use crate::Architecture;
+    use dssd_ftl::GcPolicy;
+    use dssd_workload::AccessPattern;
+
+    fn run_policy(policy: GcPolicy, ms: u64) -> u64 {
+        let mut cfg = SsdConfig::test_tiny(Architecture::ExtraBandwidth);
+        cfg.gc_continuous = true;
+        cfg.prefill_target_free = 12; // plenty of space: never forced
+        cfg.ftl.policy = policy;
+        let mut sim = SsdSim::new(cfg);
+        sim.prefill();
+        let wl = SyntheticWorkload::writes(AccessPattern::Random, 8);
+        sim.run_closed_loop(wl, SimSpan::from_ms(ms));
+        sim.report().gc_pages_copied
+    }
+
+    #[test]
+    fn preemptive_gc_defers_to_busy_host() {
+        // With queue depth 64 the host is never idle and the free pool
+        // never reaches the hard threshold, so semi-preemptive GC copies
+        // (almost) nothing while parallel GC rips along.
+        let parallel = run_policy(GcPolicy::Parallel, 10);
+        let preemptive =
+            run_policy(GcPolicy::Preemptive { hard_free_superblocks: 1 }, 10);
+        assert!(parallel > 1000, "parallel GC must make progress: {parallel}");
+        assert!(
+            preemptive < parallel / 4,
+            "preemptive GC must defer: {preemptive} vs {parallel}"
+        );
+    }
+
+    #[test]
+    fn tinytail_limits_concurrent_gc_channels() {
+        // TinyTail's partial GC copies more slowly than full-parallel GC
+        // (its whole point: spare the other channels for I/O).
+        let parallel = run_policy(GcPolicy::Parallel, 10);
+        let tinytail = run_policy(GcPolicy::TinyTail { concurrent_channels: 1 }, 10);
+        assert!(
+            tinytail < parallel,
+            "1-channel GC cannot outrun 8-channel GC: {tinytail} vs {parallel}"
+        );
+        assert!(tinytail > 0, "TinyTail still makes progress");
+    }
+
+    #[test]
+    fn forced_preemptive_gc_eventually_runs() {
+        // With a tight free pool the hard threshold is hit and preemptive
+        // GC runs even against a busy host.
+        let mut cfg = SsdConfig::test_tiny(Architecture::ExtraBandwidth);
+        cfg.ftl.policy = GcPolicy::Preemptive {
+            hard_free_superblocks: cfg.ftl.gc_hard_free,
+        };
+        cfg.prefill_target_free = cfg.ftl.gc_hard_free + 1;
+        let mut sim = SsdSim::new(cfg);
+        sim.prefill();
+        let wl = SyntheticWorkload::writes(AccessPattern::Random, 8);
+        sim.run_closed_loop(wl, SimSpan::from_ms(20));
+        assert!(
+            sim.report().gc_pages_copied > 500,
+            "forced GC must run: {}",
+            sim.report().gc_pages_copied
+        );
+    }
+}
+
+#[cfg(test)]
+mod write_cache_tests {
+    use super::*;
+    use crate::Architecture;
+    use dssd_workload::AccessPattern;
+
+    fn run_with_cache(cache_pages: Option<usize>, qd: usize) -> SsdSim {
+        let mut cfg = SsdConfig::test_tiny(Architecture::Baseline);
+        cfg.write_cache_pages = cache_pages;
+        let mut sim = SsdSim::new(cfg);
+        sim.prefill();
+        let before = sim.ftl().stats().host_pages_written;
+        let wl = SyntheticWorkload::writes(AccessPattern::Random, 8).with_queue_depth(qd);
+        sim.run_closed_loop(wl, SimSpan::from_ms(10));
+        assert!(
+            sim.ftl().stats().host_pages_written > before,
+            "flushes must still reach flash"
+        );
+        sim
+    }
+
+    #[test]
+    fn cache_absorbs_writes_at_dram_speed() {
+        // At moderate queue depth, write-back acknowledges from DRAM
+        // while flushing proceeds in the background. (Under saturation
+        // the flush traffic re-loads the bus and the benefit disappears —
+        // which is why the write buffer helps bursts, not steady floods.)
+        let cached = run_with_cache(Some(4096), 4);
+        let raw = run_with_cache(None, 4);
+        let lc = cached.report().mean_latency().as_us_f64();
+        let lr = raw.report().mean_latency().as_us_f64();
+        assert!(
+            lc < lr / 3.0,
+            "write-back latency {lc}us must be far below write-through {lr}us"
+        );
+    }
+
+    #[test]
+    fn cached_reads_hit_recent_writes() {
+        // Mixed read/write over a hot working set: reads hit the buffer.
+        let mut cfg = SsdConfig::test_tiny(Architecture::Baseline);
+        cfg.write_cache_pages = Some(16384);
+        let mut sim = SsdSim::new(cfg);
+        sim.prefill();
+        let wl = SyntheticWorkload::mixed(AccessPattern::Random, 8, 0.5)
+            .with_working_set(8192);
+        sim.run_closed_loop(wl, SimSpan::from_ms(5));
+        let cache_hits = sim.cache_hits().expect("cache enabled");
+        assert!(cache_hits > 0, "hot-set re-reads must hit the buffer");
+    }
+
+    #[test]
+    fn flush_backlog_survives_space_pressure() {
+        // Small cache + heavy writes: flushing competes with GC for
+        // space; everything must drain without loss or panic.
+        let mut cfg = SsdConfig::test_tiny(Architecture::DssdFnoc);
+        cfg.write_cache_pages = Some(512);
+        let mut sim = SsdSim::new(cfg);
+        sim.prefill();
+        let wl = SyntheticWorkload::writes(AccessPattern::Random, 8);
+        sim.run_closed_loop(wl, SimSpan::from_ms(30));
+        assert!(sim.report().gc_rounds > 0, "GC must run under flush pressure");
+        assert!(sim.ftl().stats().host_pages_written > 10_000);
+    }
+}

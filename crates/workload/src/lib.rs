@@ -1,0 +1,30 @@
+//! Workloads for the dSSD evaluation.
+//!
+//! Three layers, matching the paper's methodology (Sec 6.1):
+//!
+//! * [`Request`] / [`Op`] — the unit the SSD simulator consumes.
+//! * [`SyntheticWorkload`] — closed-loop synthetic streams (sequential or
+//!   random, read/write mixes, 4 KB "low-bandwidth" or 128 KB
+//!   "high-bandwidth" requests, queue depth 64, optional DRAM-hit
+//!   behaviour).
+//! * [`Trace`] + [`msr`] — open-loop block traces in an MSR-Cambridge-
+//!   style CSV format, plus deterministic *synthesizers* for fifteen
+//!   MSR-like volumes (`prn_0`, `src1_2`, `usr_2`, `hm_1`, …).
+//!
+//! The raw MSR Cambridge traces are not redistributable, so [`msr`]
+//! generates statistical stand-ins: each profile documents the published
+//! per-volume characteristics it reproduces (read ratio, request sizes,
+//! sequentiality, intensity). The evaluation uses traces as mixes of
+//! read/write intensity and size, which these stand-ins preserve.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod msr;
+mod request;
+mod synthetic;
+mod trace;
+
+pub use request::{Op, Request};
+pub use synthetic::{open_loop_schedule, AccessPattern, SyntheticWorkload};
+pub use trace::{Trace, TraceParseError, TraceRecord};

@@ -1,0 +1,316 @@
+//! Closed-loop synthetic workload generator.
+
+use dssd_kernel::Rng;
+
+use crate::{Op, Request};
+
+/// Spatial access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Consecutive logical addresses, wrapping at the end of the space.
+    Sequential,
+    /// Uniformly random aligned addresses.
+    Random,
+}
+
+/// A closed-loop synthetic workload (the paper's Fig 2/7/8 input).
+///
+/// Generates requests on demand; the SSD keeps `queue_depth` of them
+/// outstanding. The paper's two bandwidth regimes map to
+/// `request_pages = 1` (4 KB, one plane) and `request_pages = 8`
+/// (32 KB, all planes via multi-plane) on the ULL device, or 128 KB on
+/// larger-page devices.
+///
+/// # Example
+///
+/// ```
+/// use dssd_workload::{AccessPattern, SyntheticWorkload, Op};
+/// use dssd_kernel::Rng;
+///
+/// let mut w = SyntheticWorkload::writes(AccessPattern::Sequential, 8)
+///     .with_queue_depth(64)
+///     .bind(1_000_000);
+/// let mut rng = Rng::new(1);
+/// let r = w.next_request(&mut rng);
+/// assert_eq!(r.op, Op::Write);
+/// assert_eq!(r.pages, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkload {
+    pattern: AccessPattern,
+    read_fraction: f64,
+    request_pages: u32,
+    queue_depth: usize,
+    dram_hit_fraction: f64,
+    working_set: Option<u64>,
+    lpn_count: u64,
+    cursor: u64,
+}
+
+impl SyntheticWorkload {
+    /// A pure-write workload of `request_pages`-page requests.
+    #[must_use]
+    pub fn writes(pattern: AccessPattern, request_pages: u32) -> Self {
+        Self::mixed(pattern, request_pages, 0.0)
+    }
+
+    /// A pure-read workload of `request_pages`-page requests.
+    #[must_use]
+    pub fn reads(pattern: AccessPattern, request_pages: u32) -> Self {
+        Self::mixed(pattern, request_pages, 1.0)
+    }
+
+    /// A mixed workload; `read_fraction` of requests are reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request_pages` is zero or `read_fraction` outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn mixed(pattern: AccessPattern, request_pages: u32, read_fraction: f64) -> Self {
+        assert!(request_pages > 0, "requests must span at least one page");
+        assert!(
+            (0.0..=1.0).contains(&read_fraction),
+            "read fraction must be in [0, 1]"
+        );
+        SyntheticWorkload {
+            pattern,
+            read_fraction,
+            request_pages,
+            queue_depth: 64,
+            dram_hit_fraction: 0.0,
+            working_set: None,
+            lpn_count: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Sets the outstanding-request queue depth (default 64, per Sec 6.1).
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be non-zero");
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Fraction of requests serviced by the DRAM cache (default 0;
+    /// 1.0 reproduces the paper's all-DRAM-hit scenario of Fig 10a).
+    #[must_use]
+    pub fn with_dram_hit_fraction(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        self.dram_hit_fraction = fraction;
+        self
+    }
+
+    /// Restricts addresses to the first `pages` logical pages — a hot
+    /// working set smaller than the drive, for cache-locality studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    #[must_use]
+    pub fn with_working_set(mut self, pages: u64) -> Self {
+        assert!(pages > 0, "working set must be non-empty");
+        self.working_set = Some(pages);
+        self
+    }
+
+    /// Binds the workload to a logical space of `lpn_count` pages,
+    /// making it ready to generate requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space is smaller than one request.
+    #[must_use]
+    pub fn bind(mut self, lpn_count: u64) -> Self {
+        assert!(
+            lpn_count >= self.request_pages as u64,
+            "logical space smaller than one request"
+        );
+        self.lpn_count = lpn_count;
+        self
+    }
+
+    /// The configured queue depth.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// The request size in pages.
+    #[must_use]
+    pub fn request_pages(&self) -> u32 {
+        self.request_pages
+    }
+
+    /// Generates the next request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload was not [`bound`](SyntheticWorkload::bind).
+    pub fn next_request(&mut self, rng: &mut Rng) -> Request {
+        assert!(self.lpn_count > 0, "bind() the workload before use");
+        let space = self
+            .working_set
+            .map_or(self.lpn_count, |w| w.min(self.lpn_count))
+            .max(self.request_pages as u64);
+        let span = self.request_pages as u64;
+        let lpn = match self.pattern {
+            AccessPattern::Sequential => {
+                let l = self.cursor;
+                self.cursor += span;
+                if self.cursor + span > space {
+                    self.cursor = 0;
+                }
+                l
+            }
+            AccessPattern::Random => {
+                let slots = space / span;
+                rng.range_u64(0..slots) * span
+            }
+        };
+        let op = if rng.chance(self.read_fraction) { Op::Read } else { Op::Write };
+        let mut r = Request::new(op, lpn, self.request_pages);
+        if self.dram_hit_fraction > 0.0 && rng.chance(self.dram_hit_fraction) {
+            r = r.cached();
+        }
+        r
+    }
+}
+
+/// Generates an open-loop arrival schedule: requests drawn from
+/// `workload` with Poisson (exponential inter-arrival) timing at
+/// `requests_per_sec`, for `duration`. Use with an SSD's trace-replay
+/// entry point to measure latency at a *fixed offered load* instead of
+/// the closed-loop saturation the queue-depth model produces.
+///
+/// # Example
+///
+/// ```
+/// use dssd_workload::{open_loop_schedule, AccessPattern, SyntheticWorkload};
+/// use dssd_kernel::{Rng, SimSpan};
+///
+/// let w = SyntheticWorkload::writes(AccessPattern::Random, 8).bind(1 << 20);
+/// let mut rng = Rng::new(1);
+/// let sched = open_loop_schedule(w, 10_000.0, SimSpan::from_ms(10), &mut rng);
+/// assert!((sched.len() as f64 - 100.0).abs() < 40.0); // ~10k IOPS x 10 ms
+/// ```
+///
+/// # Panics
+///
+/// Panics if `requests_per_sec` is not positive or the workload is
+/// unbound.
+pub fn open_loop_schedule(
+    mut workload: SyntheticWorkload,
+    requests_per_sec: f64,
+    duration: dssd_kernel::SimSpan,
+    rng: &mut Rng,
+) -> Vec<(dssd_kernel::SimTime, Request)> {
+    assert!(requests_per_sec > 0.0, "rate must be positive");
+    let mean_gap_ns = 1e9 / requests_per_sec;
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        t += rng.exponential(mean_gap_ns);
+        if t >= duration.as_ns() as f64 {
+            return out;
+        }
+        out.push((
+            dssd_kernel::SimTime::from_ns(t as u64),
+            workload.next_request(rng),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_advances_and_wraps() {
+        let mut w = SyntheticWorkload::writes(AccessPattern::Sequential, 4).bind(10);
+        let mut rng = Rng::new(1);
+        assert_eq!(w.next_request(&mut rng).lpn, 0);
+        assert_eq!(w.next_request(&mut rng).lpn, 4);
+        // cursor would be 8; 8+4 > 10 so it wraps
+        assert_eq!(w.next_request(&mut rng).lpn, 0);
+    }
+
+    #[test]
+    fn random_stays_in_bounds_and_aligned() {
+        let mut w = SyntheticWorkload::writes(AccessPattern::Random, 8).bind(1000);
+        let mut rng = Rng::new(2);
+        for _ in 0..1000 {
+            let r = w.next_request(&mut rng);
+            assert!(r.lpn + 8 <= 1000);
+            assert_eq!(r.lpn % 8, 0);
+        }
+    }
+
+    #[test]
+    fn mix_ratio_is_respected() {
+        let mut w = SyntheticWorkload::mixed(AccessPattern::Random, 1, 0.7).bind(1000);
+        let mut rng = Rng::new(3);
+        let reads = (0..10_000)
+            .filter(|_| w.next_request(&mut rng).op == Op::Read)
+            .count();
+        assert!((reads as f64 / 10_000.0 - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    fn dram_hits_follow_fraction() {
+        let mut w = SyntheticWorkload::writes(AccessPattern::Random, 1)
+            .with_dram_hit_fraction(1.0)
+            .bind(1000);
+        let mut rng = Rng::new(4);
+        assert!((0..100).all(|_| w.next_request(&mut rng).dram_hit));
+    }
+
+    #[test]
+    #[should_panic(expected = "bind()")]
+    fn unbound_workload_panics() {
+        let mut w = SyntheticWorkload::writes(AccessPattern::Random, 1);
+        let _ = w.next_request(&mut Rng::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than one request")]
+    fn tiny_space_rejected() {
+        let _ = SyntheticWorkload::writes(AccessPattern::Random, 8).bind(4);
+    }
+
+    #[test]
+    fn working_set_bounds_addresses() {
+        let mut w = SyntheticWorkload::writes(AccessPattern::Random, 4)
+            .with_working_set(64)
+            .bind(1_000_000);
+        let mut rng = Rng::new(6);
+        for _ in 0..500 {
+            assert!(w.next_request(&mut rng).lpn + 4 <= 64);
+        }
+    }
+
+    #[test]
+    fn open_loop_rate_is_respected() {
+        let w = SyntheticWorkload::writes(AccessPattern::Random, 1).bind(10_000);
+        let mut rng = Rng::new(9);
+        let sched = open_loop_schedule(
+            w,
+            100_000.0,
+            dssd_kernel::SimSpan::from_ms(50),
+            &mut rng,
+        );
+        let got = sched.len() as f64;
+        assert!((got - 5000.0).abs() / 5000.0 < 0.1, "{got} requests");
+        for w in sched.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn reads_helper_is_all_reads() {
+        let mut w = SyntheticWorkload::reads(AccessPattern::Random, 1).bind(100);
+        let mut rng = Rng::new(5);
+        assert!((0..100).all(|_| w.next_request(&mut rng).op == Op::Read));
+    }
+}

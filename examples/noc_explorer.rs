@@ -1,0 +1,59 @@
+//! Standalone fNoC exploration: drive the flit-level network with
+//! synthetic traffic and compare topologies, patterns and loads —
+//! without the rest of the SSD.
+//!
+//! ```sh
+//! cargo run --release --example noc_explorer
+//! ```
+
+use dssd::kernel::{Rng, SimSpan};
+use dssd::noc::traffic::{schedule, Pattern};
+use dssd::noc::{drive, Network, NocConfig, TopologyKind};
+
+fn run(kind: TopologyKind, pattern: Pattern, load_mbps: u64) -> (f64, f64, f64) {
+    let config = NocConfig::new(kind, 8).with_bisection_bandwidth(2_000_000_000);
+    let mut rng = Rng::new(7);
+    let packets = schedule(
+        8,
+        pattern,
+        load_mbps * 1_000_000,
+        4096,
+        SimSpan::from_ms(2),
+        &mut rng,
+    );
+    let offered = packets.len();
+    let mut net = Network::new(config);
+    let delivered = drive(&mut net, packets);
+    assert_eq!(delivered.len(), offered, "network must not drop packets");
+    let end = delivered.iter().map(|d| d.at).max().unwrap();
+    let bytes: u64 = delivered.iter().map(|d| d.packet.bytes).sum();
+    (
+        bytes as f64 / end.as_secs_f64() / 1e9,
+        net.stats().mean_latency().as_us_f64(),
+        net.stats().mean_hops(),
+    )
+}
+
+fn main() {
+    println!("8-terminal fNoC, 4 KB page packets, 2 GB/s bisection\n");
+    for pattern in [Pattern::UniformRandom, Pattern::Tornado, Pattern::Hotspot] {
+        println!("--- {pattern:?} traffic ---");
+        println!(
+            "{:<9} {:>12} {:>12} {:>10}",
+            "topology", "thpt GB/s", "latency us", "hops"
+        );
+        for kind in [
+            TopologyKind::Mesh1D,
+            TopologyKind::Ring,
+            TopologyKind::Mesh2D { cols: 4 },
+            TopologyKind::Crossbar,
+        ] {
+            // Offered load: 150 MB/s per node (1.2 GB/s aggregate).
+            let (thpt, lat, hops) = run(kind, pattern, 150);
+            println!("{:<9} {thpt:>12.2} {lat:>12.1} {hops:>10.2}", format!("{kind:?}"));
+        }
+        println!();
+    }
+    println!("the ring pays for its thin channels in serialization latency;");
+    println!("the mesh matches the crossbar once bisection bandwidth suffices.");
+}

@@ -1,0 +1,59 @@
+//! Replay an MSR-Cambridge-style enterprise trace on all five Table 2
+//! architectures and compare mean and tail latency.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay           # prn_0
+//! cargo run --release --example trace_replay usr_2     # another volume
+//! ```
+
+use dssd::kernel::SimSpan;
+use dssd::ssd::{Architecture, SsdConfig, SsdSim};
+use dssd::workload::msr;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "prn_0".to_string());
+    let Some(profile) = msr::profile(&name) else {
+        eprintln!("unknown volume `{name}`; available:");
+        for p in msr::PROFILES {
+            eprintln!("  {} (read ratio {:.2})", p.name, p.read_ratio);
+        }
+        std::process::exit(1);
+    };
+    println!(
+        "volume {} — read ratio {:.2}, ~{:.0} IOPS, replayed at 10x\n",
+        profile.name, profile.read_ratio, profile.iops
+    );
+
+    let duration = SimSpan::from_ms(40);
+    let speedup = 10.0;
+    println!(
+        "{:<9} {:>10} {:>10} {:>10} {:>9}",
+        "config", "mean", "p99", "p99.9", "requests"
+    );
+    for arch in Architecture::all() {
+        let mut config = SsdConfig::test_tiny(arch);
+        config.gc_continuous = true;
+        let page_bytes = config.geometry.page_bytes;
+        let mut sim = SsdSim::new(config);
+        sim.prefill();
+        let trace = profile
+            .synthesize(
+                SimSpan::from_ns((duration.as_ns() as f64 * speedup) as u64),
+                42,
+            )
+            .accelerate(speedup);
+        let requests = trace.to_requests(page_bytes, sim.ftl().lpn_count());
+        sim.run_trace(requests, duration);
+        let p99 = sim.report_mut().latency_percentile(0.99);
+        let p999 = sim.report_mut().latency_percentile(0.999);
+        let report = sim.report();
+        println!(
+            "{:<9} {:>10} {:>10} {:>10} {:>9}",
+            arch.label(),
+            format!("{}", report.mean_latency()),
+            format!("{p99}"),
+            format!("{p999}"),
+            report.requests_completed,
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Watch an SSD wear out — twice. The same accelerated-aging wear
+//! distribution is applied to a conventional SSD (whole superblocks
+//! retire on the first uncorrectable error) and to a decoupled SSD whose
+//! controllers recycle the still-good sub-blocks through their SRT/RBT
+//! hardware (Sec 5), entirely invisibly to the FTL.
+//!
+//! ```sh
+//! cargo run --release --example wear_and_recycling
+//! ```
+
+use dssd::kernel::SimSpan;
+use dssd::ssd::{Architecture, DynamicSbConfig, SsdConfig, SsdSim};
+use dssd::workload::{AccessPattern, SyntheticWorkload};
+
+fn main() {
+    println!("accelerated aging: P/E limits ~ N(5, 2.5^2), 5 cycles per erase\n");
+    println!(
+        "{:<9} {:>8} {:>8} {:>12} {:>12} {:>12}",
+        "config", "bad SBs", "remaps", "end of life", "host data", "GC copied"
+    );
+    let mut written = Vec::new();
+    for arch in [Architecture::Baseline, Architecture::DssdFnoc] {
+        let mut config = SsdConfig::test_tiny(arch);
+        config.gc_continuous = true;
+        config.dynamic_sb = Some(DynamicSbConfig {
+            pe_mean: 5.0,
+            pe_sigma: 2.5,
+            wear_acceleration: 5,
+            ..DynamicSbConfig::default()
+        });
+        let mut sim = SsdSim::new(config);
+        sim.prefill();
+        let workload = SyntheticWorkload::writes(AccessPattern::Random, 8);
+        let report = sim.run_closed_loop(workload, SimSpan::from_ms(250));
+        println!(
+            "{:<9} {:>8} {:>8} {:>12} {:>12} {:>12}",
+            arch.label(),
+            report.bad_superblocks,
+            report.dynamic_remaps,
+            report
+                .end_of_life
+                .map(|t| format!("{:.0} ms", t.as_ms_f64()))
+                .unwrap_or_else(|| "survived".into()),
+            format!("{:.0} MB", report.io_bw.total_bytes() as f64 / 1e6),
+            format!("{:.0} MB", report.gc_bw.total_bytes() as f64 / 1e6),
+        );
+        written.push(report.io_bw.total_bytes() as f64);
+    }
+    println!();
+    println!(
+        "lifetime data written: {:+.0}% for the decoupled SSD — the paper's",
+        (written[1] / written[0] - 1.0) * 100.0
+    );
+    println!("dynamic-superblock claim, reproduced live in the event simulator.");
+}

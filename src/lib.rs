@@ -1,0 +1,59 @@
+//! # dSSD — a reproduction of *Decoupled SSD* (ISCA '23)
+//!
+//! This crate is the façade of a from-scratch Rust reproduction of
+//! *"Decoupled SSD: Rethinking SSD Architecture through Network-based
+//! Flash Controllers"* (Kim, Jung & Kim, ISCA 2023): an event-driven SSD
+//! simulator in which the flash controllers are interconnected by a
+//! flit-level network-on-chip (the **fNoC**) so garbage-collection data
+//! movement (**global copyback**) never touches the shared system bus or
+//! DRAM, plus the paper's **dynamic superblock** reliability mechanism
+//! (recycle block table + superblock remapping table).
+//!
+//! The subsystem crates are re-exported here under short module names:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`kernel`] | `dssd-kernel` | event queue, sim time, RNG, stats, bandwidth servers |
+//! | [`flash`] | `dssd-flash` | NAND geometry/timing/state, wear model |
+//! | [`noc`] | `dssd-noc` | flit-level wormhole NoC (mesh/ring/crossbar) |
+//! | [`ctrl`] | `dssd-ctrl` | decoupled-controller parts: queues, dBUF, ECC, SRT/RBT |
+//! | [`ftl`] | `dssd-ftl` | mapping, superblocks, allocator, GC policies |
+//! | [`ssd`] | `dssd-ssd` | the five Table 2 architectures, end to end |
+//! | [`workload`] | `dssd-workload` | synthetic + MSR-style trace workloads |
+//! | [`reliability`] | `dssd-reliability` | superblock endurance simulation |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use dssd::ssd::{Architecture, SsdConfig, SsdSim};
+//! use dssd::workload::{AccessPattern, SyntheticWorkload};
+//! use dssd::kernel::SimSpan;
+//!
+//! // A decoupled SSD with an 8-node fNoC, pre-conditioned so GC is live.
+//! let mut sim = SsdSim::new(SsdConfig::scaled_ull(Architecture::DssdFnoc));
+//! sim.prefill();
+//!
+//! // 32 KB random writes at queue depth 64, for 50 simulated ms.
+//! let workload = SyntheticWorkload::writes(AccessPattern::Random, 8);
+//! let report = sim.run_closed_loop(workload, SimSpan::from_ms(50));
+//!
+//! println!("I/O: {:.2} GB/s, GC: {:.2} GB/s, p99: {}",
+//!          report.io_bandwidth_gbps(),
+//!          report.gc_bandwidth_gbps(),
+//!          report.io_latency.mean());
+//! ```
+//!
+//! See the repository's `examples/` for runnable scenarios and
+//! `crates/bench` for the binaries that regenerate every figure of the
+//! paper's evaluation.
+
+#![warn(missing_docs)]
+
+pub use dssd_ctrl as ctrl;
+pub use dssd_flash as flash;
+pub use dssd_ftl as ftl;
+pub use dssd_kernel as kernel;
+pub use dssd_noc as noc;
+pub use dssd_reliability as reliability;
+pub use dssd_ssd as ssd;
+pub use dssd_workload as workload;

@@ -1,0 +1,152 @@
+//! End-to-end integration tests across the five Table 2 architectures.
+
+use dssd::kernel::SimSpan;
+use dssd::ssd::{Architecture, SsdConfig, SsdSim, StageKind};
+use dssd::workload::{AccessPattern, SyntheticWorkload};
+
+fn gc_run(arch: Architecture, ms: u64) -> SsdSim {
+    let mut config = SsdConfig::test_tiny(arch);
+    config.gc_continuous = true;
+    let mut sim = SsdSim::new(config);
+    sim.prefill();
+    let workload = SyntheticWorkload::writes(AccessPattern::Random, 8);
+    sim.run_closed_loop(workload, SimSpan::from_ms(ms));
+    sim
+}
+
+#[test]
+fn every_architecture_completes_io_and_gc() {
+    for arch in Architecture::all() {
+        let sim = gc_run(arch, 10);
+        let r = sim.report();
+        assert!(
+            r.requests_completed > 500,
+            "{}: {} requests",
+            arch.label(),
+            r.requests_completed
+        );
+        assert!(r.gc_pages_copied > 0, "{}: GC never copied", arch.label());
+        assert!(r.io_bandwidth_gbps() > 0.5, "{}: io too low", arch.label());
+    }
+}
+
+#[test]
+fn copyback_datapath_matches_architecture() {
+    // The defining property of each architecture is *where* copyback
+    // data moves. Verify via the per-stage breakdown and bus accounting.
+    let base = gc_run(Architecture::Baseline, 10);
+    let b = &base.report().copyback_breakdown;
+    assert!(b.mean_us(StageKind::SystemBus) > 0.0, "baseline uses the bus");
+    assert!(b.mean_us(StageKind::Dram) > 0.0, "baseline stages in DRAM");
+    assert_eq!(b.mean_us(StageKind::Noc), 0.0);
+
+    let dssd = gc_run(Architecture::Dssd, 10);
+    let b = &dssd.report().copyback_breakdown;
+    assert!(b.mean_us(StageKind::SystemBus) > 0.0, "dSSD crosses the bus once");
+    assert_eq!(b.mean_us(StageKind::Dram), 0.0, "dSSD skips DRAM");
+
+    let dssd_b = gc_run(Architecture::DssdBus, 10);
+    let b = &dssd_b.report().copyback_breakdown;
+    assert_eq!(b.mean_us(StageKind::SystemBus), 0.0, "dSSD_b has its own bus");
+    assert!(b.mean_us(StageKind::Noc) > 0.0, "dedicated-bus transit recorded");
+
+    let fnoc = gc_run(Architecture::DssdFnoc, 10);
+    let b = &fnoc.report().copyback_breakdown;
+    assert_eq!(b.mean_us(StageKind::SystemBus), 0.0, "dSSD_f never uses the bus");
+    assert_eq!(b.mean_us(StageKind::Dram), 0.0);
+    assert!(b.mean_us(StageKind::Noc) > 0.0, "fNoC transit recorded");
+    assert!(fnoc.report().sysbus_gc_utilization() == 0.0);
+}
+
+#[test]
+fn decoupling_beats_bandwidth_on_both_metrics() {
+    let base = gc_run(Architecture::Baseline, 20);
+    let bw = gc_run(Architecture::ExtraBandwidth, 20);
+    let fnoc = gc_run(Architecture::DssdFnoc, 20);
+    let io = |s: &SsdSim| s.report().io_bandwidth_gbps();
+    let gc = |s: &SsdSim| s.report().gc_bandwidth_gbps();
+    assert!(io(&bw) > io(&base), "extra bandwidth helps I/O");
+    assert!(
+        io(&fnoc) > io(&bw),
+        "decoupling beats raw bandwidth on I/O: {} vs {}",
+        io(&fnoc),
+        io(&bw)
+    );
+    assert!(
+        gc(&fnoc) > gc(&base),
+        "decoupling beats baseline GC: {} vs {}",
+        gc(&fnoc),
+        gc(&base)
+    );
+}
+
+#[test]
+fn dram_hit_isolation_is_architectural() {
+    // With 100% DRAM-cached I/O, only the decoupled-interconnect
+    // variants fully isolate the host from GC.
+    let run = |arch| {
+        let mut config = SsdConfig::test_tiny(arch);
+        config.gc_continuous = true;
+        let mut sim = SsdSim::new(config);
+        sim.prefill();
+        let workload =
+            SyntheticWorkload::writes(AccessPattern::Random, 8).with_dram_hit_fraction(1.0);
+        sim.run_closed_loop(workload, SimSpan::from_ms(10));
+        sim.report().io_bandwidth_gbps()
+    };
+    let bw = run(Architecture::ExtraBandwidth);
+    let fnoc = run(Architecture::DssdFnoc);
+    assert!(
+        fnoc > bw * 1.3,
+        "isolated DRAM-hit I/O must far exceed shared-bus: {fnoc} vs {bw}"
+    );
+    assert!(fnoc > 7.0, "dSSD_f must approach the 8 GB/s bus: {fnoc}");
+}
+
+#[test]
+fn runs_are_deterministic_across_full_stack() {
+    let a = gc_run(Architecture::DssdFnoc, 8);
+    let b = gc_run(Architecture::DssdFnoc, 8);
+    assert_eq!(a.report().requests_completed, b.report().requests_completed);
+    assert_eq!(a.report().gc_pages_copied, b.report().gc_pages_copied);
+    assert_eq!(a.report().io_bw.total_bytes(), b.report().io_bw.total_bytes());
+    assert_eq!(a.ftl().stats(), b.ftl().stats());
+}
+
+#[test]
+fn seeds_change_outcomes() {
+    let mut c1 = SsdConfig::test_tiny(Architecture::DssdFnoc);
+    c1.gc_continuous = true;
+    let mut c2 = c1.clone().with_seed(999);
+    c2.gc_continuous = true;
+    let run = |config| {
+        let mut sim = SsdSim::new(config);
+        sim.prefill();
+        let w = SyntheticWorkload::writes(AccessPattern::Random, 8);
+        sim.run_closed_loop(w, SimSpan::from_ms(5));
+        sim.report().io_bw.total_bytes()
+    };
+    assert_ne!(run(c1), run(c2));
+}
+
+#[test]
+fn no_data_is_lost_through_sustained_gc() {
+    let sim = gc_run(Architecture::DssdFnoc, 20);
+    let ftl = sim.ftl();
+    assert!(ftl.stats().gc_rounds > 0, "GC must have cycled");
+    // Every mapped logical page still resolves to a valid physical page.
+    let mut mapped = 0u64;
+    for lpn in 0..ftl.lpn_count() {
+        if let Some(addr) = ftl.translate(lpn) {
+            let geo = ftl.layout().geometry();
+            let ppn = geo.page_index(addr);
+            assert_eq!(
+                ftl.mapping().lpn_of(ppn),
+                Some(lpn),
+                "LPN {lpn} mapping corrupted by GC"
+            );
+            mapped += 1;
+        }
+    }
+    assert!(mapped > ftl.lpn_count() / 3, "most of the space stays mapped");
+}

@@ -1,0 +1,110 @@
+//! A step-by-step re-enactment of the paper's Fig 6 walk-through
+//! (Sec 5.2) using the hardware-table types the decoupled controller
+//! carries: the first bad superblock seeds the recycle block tables, the
+//! second is silently repaired through the superblock remapping table.
+
+use dssd::ctrl::{RecycleBlockTable, SubBlockId, SuperblockRemapTable};
+
+/// Four flash channels, each with one decoupled controller holding its
+/// own SRT and RBT (the tables are "maintained individually by each
+/// controller").
+struct Controllers {
+    srt: Vec<SuperblockRemapTable>,
+    rbt: Vec<RecycleBlockTable>,
+}
+
+impl Controllers {
+    fn new(channels: usize) -> Self {
+        Controllers {
+            srt: (0..channels).map(|_| SuperblockRemapTable::new(1024)).collect(),
+            rbt: (0..channels).map(|_| RecycleBlockTable::new(64)).collect(),
+        }
+    }
+}
+
+#[test]
+fn fig6_walkthrough() {
+    // Superblock s = block s on every channel; sub-block ids are
+    // (die 0, block s) within each channel in this simplified view.
+    let channels = 4;
+    let mut c = Controllers::new(channels);
+    let sub = |sb: u16| SubBlockId::new(0, sb);
+
+    // Initially both tables are empty and no command consults the SRT.
+    for ch in 0..channels {
+        assert!(c.srt[ch].is_empty());
+        assert!(c.rbt[ch].is_empty());
+    }
+
+    // (a) Superblock 0 suffers an uncorrectable error in channel 0's
+    // sub-block. The FTL moves the valid pages and retires the
+    // superblock — but the *other* channels' sub-blocks are still good,
+    // so each controller deposits its own sub-block into its RBT
+    // ("notifies the other flash controllers").
+    let bad_channel = 0;
+    for ch in 0..channels {
+        if ch != bad_channel {
+            c.rbt[ch].deposit(sub(0)).unwrap();
+        }
+    }
+    assert!(c.rbt[bad_channel].is_empty(), "the dead sub-block is not recycled");
+    assert_eq!(
+        c.rbt.iter().map(RecycleBlockTable::len).sum::<usize>(),
+        channels - 1
+    );
+
+    // (b) Later, superblock 3 goes bad at channel 1 (sub-block "D" in
+    // the figure). This time the controller does NOT notify the FTL:
+    // channel 1's RBT has a spare ("A" — its recycled sub-block of
+    // superblock 0).
+    let spare = c.rbt[1].take().expect("a recycled block is available");
+    assert_eq!(spare, sub(0));
+
+    // (c) The remapping D -> A is inserted into channel 1's SRT and the
+    // valid pages of D are moved to A by a global copyback (modeled
+    // elsewhere); from now on every command for superblock 3's sub-block
+    // on channel 1 is silently redirected.
+    c.srt[1].insert(sub(3), spare).unwrap();
+    assert_eq!(c.srt[1].resolve(sub(3)), sub(0), "access is remapped");
+    assert_eq!(c.srt[1].resolve(sub(2)), sub(2), "other superblocks untouched");
+    assert_eq!(c.srt[1].active_entries(), 1);
+
+    // The FTL-visible picture: superblock 0 is dead, superblock 3 is
+    // alive — even though physically one of 3's sub-blocks is 0's.
+    // Other channels' controllers were never involved.
+    for ch in (0..channels).filter(|&ch| ch != 1) {
+        assert!(c.srt[ch].is_empty(), "channel {ch} has no remapping");
+    }
+
+    // If A later wears out too and another spare exists, the entry is
+    // updated in place (same FTL-visible source).
+    c.rbt[2].take().unwrap(); // channel 2's spare is taken cross-channel
+    c.srt[1].insert(sub(3), sub(9)).unwrap();
+    assert_eq!(c.srt[1].active_entries(), 1, "in-place update, no new entry");
+    assert_eq!(c.srt[1].resolve(sub(3)), sub(9));
+}
+
+#[test]
+fn srt_exhaustion_forces_visible_death() {
+    // With a 1-entry SRT, the second distinct remapping cannot be
+    // recorded: the hardware must fall back to reporting the superblock
+    // bad (the Fig 16a endurance-vs-SRT-size trade-off at its extreme).
+    let mut srt = SuperblockRemapTable::new(1);
+    srt.insert(SubBlockId::new(0, 1), SubBlockId::new(0, 7)).unwrap();
+    let err = srt
+        .insert(SubBlockId::new(0, 2), SubBlockId::new(0, 8))
+        .unwrap_err();
+    assert_eq!(err.capacity, 1);
+}
+
+#[test]
+fn reservation_prefill_skips_the_sacrifice() {
+    // RESERV (Sec 5.3): the RBT starts non-empty, so the *first* failure
+    // is already repairable — no superblock needs to die to seed the bin.
+    let mut rbt =
+        RecycleBlockTable::with_reserved(64, (100..104).map(|b| SubBlockId::new(0, b)));
+    let mut srt = SuperblockRemapTable::new(1024);
+    let spare = rbt.take().expect("reserved spare available at first failure");
+    srt.insert(SubBlockId::new(0, 5), spare).unwrap();
+    assert_eq!(srt.resolve(SubBlockId::new(0, 5)), SubBlockId::new(0, 100));
+}

@@ -1,0 +1,87 @@
+//! Cross-crate endurance scenarios at configurations different from the
+//! unit tests, including SRT/RBT invariants maintained by the simulator.
+
+use dssd::reliability::{EnduranceConfig, EnduranceSim, SuperblockPolicy};
+
+fn cfg() -> EnduranceConfig {
+    EnduranceConfig {
+        channels: 4,
+        subs_per_channel: 8,
+        superblocks: 96,
+        pe_mean: 300.0,
+        pe_sigma: 45.0,
+        ..EnduranceConfig::paper_tlc()
+    }
+}
+
+#[test]
+fn full_policy_sweep_is_ordered_at_small_bad_counts() {
+    let at = |p| {
+        let r = EnduranceSim::new(cfg()).run(p);
+        r.written_at_bad_fraction(0.04).unwrap_or(r.total_written)
+    };
+    let base = at(SuperblockPolicy::Baseline);
+    let rec = at(SuperblockPolicy::Recycled);
+    let res = at(SuperblockPolicy::Reserved);
+    let was = at(SuperblockPolicy::WearAware);
+    assert!(rec > base, "RECYCLED {rec} vs BASELINE {base}");
+    assert!(res >= rec, "RESERV {res} vs RECYCLED {rec}");
+    assert!(was >= res, "WAS {was} vs RESERV {res}");
+}
+
+#[test]
+fn srt_capacity_sweep_is_monotone() {
+    let mut last = 0u64;
+    for entries in [1usize, 8, 64, 1 << 20] {
+        let c = EnduranceConfig { srt_entries: entries, ..cfg() };
+        let total = EnduranceSim::new(c).run(SuperblockPolicy::Recycled).total_written;
+        assert!(
+            total + total / 10 >= last,
+            "endurance should not collapse as SRT grows: {entries} entries -> {total}"
+        );
+        last = last.max(total);
+    }
+}
+
+#[test]
+fn remap_events_only_occur_with_recycling() {
+    let base = EnduranceSim::new(cfg()).run(SuperblockPolicy::Baseline);
+    assert_eq!(base.remap_events, 0);
+    assert!(base.remap_curve.is_empty());
+    let rec = EnduranceSim::new(cfg()).run(SuperblockPolicy::Recycled);
+    assert!(rec.remap_events > 0);
+    assert_eq!(rec.remap_curve.len() as u64, rec.remap_events);
+}
+
+#[test]
+fn reservation_ratio_scales_first_bad_delay() {
+    let first_bad = |ratio: f64| {
+        let c = EnduranceConfig { reserved_fraction: ratio, ..cfg() };
+        EnduranceSim::new(c)
+            .run(SuperblockPolicy::Reserved)
+            .first_bad_bytes()
+            .unwrap_or(0)
+    };
+    let low = first_bad(0.02);
+    let high = first_bad(0.15);
+    assert!(
+        high > low,
+        "more reservation must delay the first bad superblock: {low} vs {high}"
+    );
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    for policy in SuperblockPolicy::all() {
+        let r = EnduranceSim::new(cfg()).run(policy);
+        // Bytes accounting matches fills.
+        let sb_bytes = 4 * 8 * 32 * 16384u64; // channels*subs*pages*page_bytes
+        assert_eq!(r.total_written, r.fills * sb_bytes, "{policy:?}");
+        // Curve never exceeds the visible population.
+        assert!(r.bad_superblocks() <= r.initial_visible, "{policy:?}");
+        // Curve points lie within the run.
+        for &(w, _) in &r.curve {
+            assert!(w <= r.total_written, "{policy:?}");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based model checking of the FTL against a reference map.
+//!
+//! A plain `HashMap<Lpn, u64>` (LPN → write version) acts as the model;
+//! the FTL runs the same operation sequence with GC interleaved. After
+//! every sequence the two must agree on which pages exist, and the FTL's
+//! internal structures must be consistent.
+
+use std::collections::HashMap;
+
+use dssd::flash::FlashGeometry;
+use dssd::ftl::{Ftl, FtlConfig, GcPolicy};
+use dssd::kernel::Rng;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u64),
+    Trim(u64),
+    Gc,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..200).prop_map(Op::Write),
+        1 => (0u64..200).prop_map(Op::Trim),
+        1 => Just(Op::Gc),
+    ]
+}
+
+fn small_ftl() -> Ftl {
+    let config = FtlConfig {
+        overprovision: 0.3,
+        gc_threshold_free: 3,
+        gc_hard_free: 1,
+        policy: GcPolicy::Parallel,
+    };
+    Ftl::new(FlashGeometry::tiny(), config)
+}
+
+/// Runs one full, synchronous GC round.
+fn run_gc(ftl: &mut Ftl) {
+    let Some(round) = ftl.start_gc_round() else { return };
+    for group in &round.groups {
+        let mut pages = group.pages.clone();
+        while !pages.is_empty() {
+            let dst = ftl.alloc_gc_group(pages.len() as u32);
+            let take = dst.len().min(pages.len());
+            for ((lpn, src), d) in pages.drain(..take).zip(dst.addrs.iter()) {
+                ftl.complete_copy(lpn, src, *d);
+            }
+        }
+    }
+    ftl.finish_gc_round(&round);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ftl_agrees_with_reference_model(ops in proptest::collection::vec(arb_op(), 1..400)) {
+        let mut ftl = small_ftl();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut version = 0u64;
+        let lpns = ftl.lpn_count();
+
+        for op in ops {
+            match op {
+                Op::Write(raw) => {
+                    let lpn = raw % lpns;
+                    if ftl.write_pages(&[lpn]).is_none() {
+                        // Out of space: reclaim synchronously and retry.
+                        run_gc(&mut ftl);
+                        prop_assert!(
+                            ftl.write_pages(&[lpn]).is_some(),
+                            "write still blocked after GC"
+                        );
+                    }
+                    version += 1;
+                    model.insert(lpn, version);
+                }
+                Op::Trim(raw) => {
+                    let lpn = raw % lpns;
+                    let ftl_had = ftl.trim(lpn).is_some();
+                    let model_had = model.remove(&lpn).is_some();
+                    prop_assert_eq!(ftl_had, model_had, "trim disagreement on {}", lpn);
+                }
+                Op::Gc => run_gc(&mut ftl),
+            }
+        }
+
+        // Agreement: exactly the model's pages are mapped.
+        for lpn in 0..lpns {
+            prop_assert_eq!(
+                ftl.translate(lpn).is_some(),
+                model.contains_key(&lpn),
+                "existence disagreement on LPN {}",
+                lpn
+            );
+        }
+
+        // Internal consistency: forward and reverse map are a bijection.
+        let geo = *ftl.layout().geometry();
+        for lpn in 0..lpns {
+            if let Some(addr) = ftl.translate(lpn) {
+                prop_assert_eq!(ftl.mapping().lpn_of(geo.page_index(addr)), Some(lpn));
+            }
+        }
+    }
+
+    #[test]
+    fn gc_preserves_every_mapping_under_pressure(seed in 0u64..500) {
+        let mut ftl = small_ftl();
+        let mut rng = Rng::new(seed);
+        ftl.prefill_with(&mut rng, 1, 0.4);
+        let before: Vec<bool> =
+            (0..ftl.lpn_count()).map(|l| ftl.translate(l).is_some()).collect();
+        for _ in 0..4 {
+            run_gc(&mut ftl);
+        }
+        for (lpn, had) in before.iter().enumerate() {
+            prop_assert_eq!(
+                ftl.translate(lpn as u64).is_some(),
+                *had,
+                "GC changed existence of LPN {}",
+                lpn
+            );
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Integration of the workload layer with the SSD: trace synthesis, CSV
+//! round-trips, replay, and the read/write intensity split.
+
+use dssd::kernel::SimSpan;
+use dssd::ssd::{Architecture, SsdConfig, SsdSim};
+use dssd::workload::{msr, Trace};
+
+#[test]
+fn all_fifteen_volumes_replay_end_to_end() {
+    for profile in msr::PROFILES {
+        let config = SsdConfig::test_tiny(Architecture::Baseline);
+        let page_bytes = config.geometry.page_bytes;
+        let mut sim = SsdSim::new(config);
+        sim.prefill();
+        let trace = profile.synthesize(SimSpan::from_ms(100), 3).accelerate(10.0);
+        let requests = trace.to_requests(page_bytes, sim.ftl().lpn_count());
+        let n = requests.len();
+        let report = sim.run_trace(requests, SimSpan::from_ms(20));
+        assert!(
+            report.requests_completed as usize >= n * 9 / 10,
+            "{}: completed {}/{n}",
+            profile.name,
+            report.requests_completed
+        );
+        assert!(report.mean_latency().as_ns() > 0, "{}", profile.name);
+    }
+}
+
+#[test]
+fn csv_round_trip_preserves_replay_behaviour() {
+    let profile = msr::profile("hm_0").unwrap();
+    let trace = profile.synthesize(SimSpan::from_ms(50), 11);
+    let parsed: Trace = trace.to_csv().parse().unwrap();
+    assert_eq!(parsed, trace);
+
+    // Same requests, same simulation outcome.
+    let run = |t: &Trace| {
+        let config = SsdConfig::test_tiny(Architecture::DssdFnoc);
+        let page_bytes = config.geometry.page_bytes;
+        let mut sim = SsdSim::new(config);
+        sim.prefill();
+        let reqs = t.to_requests(page_bytes, sim.ftl().lpn_count());
+        sim.run_trace(reqs, SimSpan::from_ms(50));
+        (
+            sim.report().requests_completed,
+            sim.report().io_bw.total_bytes(),
+        )
+    };
+    assert_eq!(run(&trace), run(&parsed));
+}
+
+#[test]
+fn read_intensity_shows_in_simulation() {
+    // A read-intensive volume must drive more read than write requests
+    // through the SSD, and vice versa.
+    let measure = |name: &str| {
+        let profile = msr::profile(name).unwrap();
+        let config = SsdConfig::test_tiny(Architecture::Baseline);
+        let page_bytes = config.geometry.page_bytes;
+        let mut sim = SsdSim::new(config);
+        sim.prefill();
+        let trace = profile.synthesize(SimSpan::from_ms(200), 5).accelerate(10.0);
+        let reqs = trace.to_requests(page_bytes, sim.ftl().lpn_count());
+        sim.run_trace(reqs, SimSpan::from_ms(20));
+        let r = sim.report();
+        (r.read_latency.count(), r.write_latency.count())
+    };
+    let (hm1_reads, hm1_writes) = measure("hm_1"); // 95% reads
+    assert!(hm1_reads > hm1_writes * 5, "{hm1_reads} vs {hm1_writes}");
+    let (rsrch_reads, rsrch_writes) = measure("rsrch_0"); // 9% reads
+    assert!(rsrch_writes > rsrch_reads * 5, "{rsrch_writes} vs {rsrch_reads}");
+}
