@@ -1,8 +1,16 @@
-//! Criterion benchmarks: one per reproduced table/figure, each running a
-//! miniaturized version of that experiment's workload so `cargo bench`
-//! doubles as a performance regression suite for the simulator itself.
+//! Zero-dependency benchmarks: one per reproduced table/figure, each
+//! running a miniaturized version of that experiment's workload so
+//! `cargo bench` doubles as a performance regression suite for the
+//! simulator itself.
+//!
+//! The harness times each scenario with `std::time::Instant` (warmup +
+//! fixed sample count, median/min/max reported) instead of pulling in
+//! `criterion`, so the workspace resolves with no network access.
+//! Benchmark names can be filtered by passing substrings:
+//! `cargo bench --bench figures -- fig07 fig13`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
 use dssd_bench::{perf_config, run_synthetic, run_trace};
 use dssd_kernel::{Rng, SimSpan, SimTime};
 use dssd_noc::traffic::{schedule, Pattern};
@@ -12,6 +20,35 @@ use dssd_ssd::{Architecture, SsdConfig, SsdSim};
 use dssd_workload::{msr, AccessPattern, SyntheticWorkload};
 
 const MS: u64 = 3;
+const WARMUP: usize = 1;
+const SAMPLES: usize = 5;
+
+/// Times `f` (WARMUP discarded runs, then SAMPLES measured runs) and
+/// prints `name: median [min .. max]`. A `std::hint::black_box` on the
+/// closure result keeps the work from being optimized away.
+fn bench<T>(filter: &[String], name: &str, mut f: impl FnMut() -> T) {
+    if !filter.is_empty() && !filter.iter().any(|p| name.contains(p.as_str())) {
+        return;
+    }
+    for _ in 0..WARMUP {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<40} {:>10.3} ms  [{:.3} .. {:.3}]",
+        median.as_secs_f64() * 1e3,
+        samples[0].as_secs_f64() * 1e3,
+        samples[samples.len() - 1].as_secs_f64() * 1e3,
+    );
+}
 
 fn synthetic(arch: Architecture, pages: u32, hit: f64) -> f64 {
     let mut cfg = perf_config(arch);
@@ -19,206 +56,126 @@ fn synthetic(arch: Architecture, pages: u32, hit: f64) -> f64 {
     run_synthetic(cfg, AccessPattern::Random, pages, 0.0, hit, SimSpan::from_ms(MS)).io_gbps
 }
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_config_build", |b| {
-        b.iter(|| SsdSim::new(SsdConfig::test_tiny(Architecture::DssdFnoc)))
-    });
-}
+fn main() {
+    // `cargo bench` forwards flags like `--bench`; keep only bare
+    // substring patterns as name filters.
+    let filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let f = &filter;
 
-fn bench_fig02(c: &mut Criterion) {
-    c.bench_function("fig02_timeline_baseline", |b| {
-        b.iter(|| {
-            dssd_bench::run_timeline(
-                perf_config(Architecture::Baseline),
-                8,
-                SimSpan::from_ms(MS),
-            )
-        })
+    bench(f, "table1_config_build", || {
+        SsdSim::new(SsdConfig::test_tiny(Architecture::DssdFnoc))
     });
-}
 
-fn bench_fig07(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig07_architectures");
-    g.sample_size(10);
+    bench(f, "fig02_timeline_baseline", || {
+        dssd_bench::run_timeline(perf_config(Architecture::Baseline), 8, SimSpan::from_ms(MS))
+    });
+
     for arch in Architecture::all() {
-        g.bench_function(arch.label(), |b| b.iter(|| synthetic(arch, 8, 0.0)));
+        bench(f, &format!("fig07_architectures/{}", arch.label()), || {
+            synthetic(arch, 8, 0.0)
+        });
     }
-    g.finish();
-}
 
-fn bench_fig08(c: &mut Criterion) {
-    c.bench_function("fig08_bw_sweep_point", |b| {
-        b.iter(|| {
-            let mut cfg = perf_config(Architecture::DssdFnoc).with_onchip_factor(2.0);
-            cfg.gc_continuous = true;
-            run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 0.0, SimSpan::from_ms(MS))
-        })
+    bench(f, "fig08_bw_sweep_point", || {
+        let mut cfg = perf_config(Architecture::DssdFnoc).with_onchip_factor(2.0);
+        cfg.gc_continuous = true;
+        run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 0.0, SimSpan::from_ms(MS))
     });
-}
 
-fn bench_fig09(c: &mut Criterion) {
-    c.bench_function("fig09_breakdown_run", |b| {
-        b.iter(|| synthetic(Architecture::DssdFnoc, 8, 0.0))
+    bench(f, "fig09_breakdown_run", || {
+        synthetic(Architecture::DssdFnoc, 8, 0.0)
     });
-}
 
-fn bench_fig10(c: &mut Criterion) {
-    c.bench_function("fig10_dram_hit_tails", |b| {
-        b.iter(|| synthetic(Architecture::DssdFnoc, 8, 1.0))
+    bench(f, "fig10_dram_hit_tails", || {
+        synthetic(Architecture::DssdFnoc, 8, 1.0)
     });
-}
 
-fn bench_fig11(c: &mut Criterion) {
     let profile = msr::profile("prn_0").unwrap();
-    c.bench_function("fig11_trace_replay", |b| {
-        b.iter(|| {
-            run_trace(
-                perf_config(Architecture::Baseline),
-                profile,
-                20.0,
-                SimSpan::from_ms(MS),
-            )
-        })
+    bench(f, "fig11_trace_replay", || {
+        run_trace(perf_config(Architecture::Baseline), profile, 20.0, SimSpan::from_ms(MS))
     });
-}
 
-fn bench_fig12(c: &mut Criterion) {
-    c.bench_function("fig12_noc_bandwidth_point", |b| {
-        b.iter(|| {
-            let mut cfg = perf_config(Architecture::DssdFnoc);
-            cfg.gc_continuous = true;
-            cfg.noc = cfg.noc.with_link_bandwidth(2_000_000_000);
-            run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 1.0, SimSpan::from_ms(MS))
-        })
+    bench(f, "fig12_noc_bandwidth_point", || {
+        let mut cfg = perf_config(Architecture::DssdFnoc);
+        cfg.gc_continuous = true;
+        cfg.noc = cfg.noc.with_link_bandwidth(2_000_000_000);
+        run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 1.0, SimSpan::from_ms(MS))
     });
-}
 
-fn bench_fig13(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig13_topologies");
-    g.sample_size(10);
     for kind in [TopologyKind::Mesh1D, TopologyKind::Ring, TopologyKind::Crossbar] {
-        g.bench_function(format!("{kind:?}"), |b| {
-            b.iter(|| {
-                let cfg = NocConfig::new(kind, 8).with_bisection_bandwidth(1_000_000_000);
-                let mut rng = Rng::new(1);
-                let pkts = schedule(
-                    8,
-                    Pattern::UniformRandom,
-                    100_000_000,
-                    4096,
-                    SimSpan::from_ms(1),
-                    &mut rng,
-                );
-                let mut net = Network::new(cfg);
-                drive(&mut net, pkts).len()
-            })
-        });
-    }
-    g.finish();
-}
-
-fn bench_fig14(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig14_endurance");
-    g.sample_size(10);
-    for policy in SuperblockPolicy::all() {
-        g.bench_function(policy.label(), |b| {
-            b.iter(|| EnduranceSim::new(EnduranceConfig::test_small()).run(policy))
-        });
-    }
-    g.finish();
-}
-
-fn bench_fig15(c: &mut Criterion) {
-    c.bench_function("fig15_srt_remap_run", |b| {
-        b.iter(|| {
-            let mut cfg = perf_config(Architecture::DssdFnoc);
-            cfg.srt_active_remaps = 256;
-            run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 0.0, SimSpan::from_ms(MS))
-        })
-    });
-}
-
-fn bench_fig16(c: &mut Criterion) {
-    c.bench_function("fig16_srt_capacity_run", |b| {
-        b.iter(|| {
-            let cfg = EnduranceConfig { srt_entries: 64, ..EnduranceConfig::test_small() };
-            EnduranceSim::new(cfg).run(SuperblockPolicy::Recycled)
-        })
-    });
-}
-
-fn bench_extensions(c: &mut Criterion) {
-    c.bench_function("write_cache_hot_set", |b| {
-        b.iter(|| {
-            let mut cfg = perf_config(Architecture::Baseline);
-            cfg.write_cache_pages = Some(8192);
-            let mut sim = SsdSim::new(cfg);
-            sim.prefill();
-            let wl = SyntheticWorkload::mixed(AccessPattern::Random, 8, 0.5)
-                .with_working_set(4096);
-            sim.run_closed_loop(wl, SimSpan::from_ms(MS));
-            sim.report().requests_completed
-        })
-    });
-    c.bench_function("open_loop_replay", |b| {
-        b.iter(|| {
-            let mut cfg = perf_config(Architecture::DssdFnoc);
-            cfg.gc_continuous = true;
-            let mut sim = SsdSim::new(cfg);
-            sim.prefill();
-            let wl = SyntheticWorkload::writes(AccessPattern::Random, 8)
-                .bind(sim.ftl().lpn_count());
-            let mut rng = Rng::new(5);
-            let sched = dssd_workload::open_loop_schedule(
-                wl,
-                50_000.0,
-                SimSpan::from_ms(MS),
+        bench(f, &format!("fig13_topologies/{kind:?}"), || {
+            let cfg = NocConfig::new(kind, 8).with_bisection_bandwidth(1_000_000_000);
+            let mut rng = Rng::new(1);
+            let pkts = schedule(
+                8,
+                Pattern::UniformRandom,
+                100_000_000,
+                4096,
+                SimSpan::from_ms(1),
                 &mut rng,
             );
-            sim.run_trace(sched, SimSpan::from_ms(MS));
-            sim.report().requests_completed
-        })
+            let mut net = Network::new(cfg);
+            drive(&mut net, pkts).len()
+        });
+    }
+
+    for policy in SuperblockPolicy::all() {
+        bench(f, &format!("fig14_endurance/{}", policy.label()), || {
+            EnduranceSim::new(EnduranceConfig::test_small()).run(policy)
+        });
+    }
+
+    bench(f, "fig15_srt_remap_run", || {
+        let mut cfg = perf_config(Architecture::DssdFnoc);
+        cfg.srt_active_remaps = 256;
+        run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 0.0, SimSpan::from_ms(MS))
+    });
+
+    bench(f, "fig16_srt_capacity_run", || {
+        let cfg = EnduranceConfig { srt_entries: 64, ..EnduranceConfig::test_small() };
+        EnduranceSim::new(cfg).run(SuperblockPolicy::Recycled)
+    });
+
+    bench(f, "write_cache_hot_set", || {
+        let mut cfg = perf_config(Architecture::Baseline);
+        cfg.write_cache_pages = Some(8192);
+        let mut sim = SsdSim::new(cfg);
+        sim.prefill();
+        let wl = SyntheticWorkload::mixed(AccessPattern::Random, 8, 0.5).with_working_set(4096);
+        sim.run_closed_loop(wl, SimSpan::from_ms(MS));
+        sim.report().requests_completed
+    });
+
+    bench(f, "open_loop_replay", || {
+        let mut cfg = perf_config(Architecture::DssdFnoc);
+        cfg.gc_continuous = true;
+        let mut sim = SsdSim::new(cfg);
+        sim.prefill();
+        let wl = SyntheticWorkload::writes(AccessPattern::Random, 8).bind(sim.ftl().lpn_count());
+        let mut rng = Rng::new(5);
+        let sched = dssd_workload::open_loop_schedule(wl, 50_000.0, SimSpan::from_ms(MS), &mut rng);
+        sim.run_trace(sched, SimSpan::from_ms(MS));
+        sim.report().requests_completed
+    });
+
+    bench(f, "event_queue_push_pop_10k", || {
+        let mut q = dssd_kernel::EventQueue::new();
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_ns(i * 37 % 5000), i);
+        }
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        n
+    });
+
+    bench(f, "workload_generation_10k", || {
+        let mut w = SyntheticWorkload::writes(AccessPattern::Random, 8).bind(1 << 20);
+        let mut rng = Rng::new(3);
+        (0..10_000).map(|_| w.next_request(&mut rng).lpn).sum::<u64>()
     });
 }
-
-fn bench_kernel_primitives(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = dssd_kernel::EventQueue::new();
-            for i in 0..10_000u64 {
-                q.push(SimTime::from_ns(i * 37 % 5000), i);
-            }
-            let mut n = 0;
-            while q.pop().is_some() {
-                n += 1;
-            }
-            n
-        })
-    });
-    c.bench_function("workload_generation_10k", |b| {
-        b.iter(|| {
-            let mut w = SyntheticWorkload::writes(AccessPattern::Random, 8).bind(1 << 20);
-            let mut rng = Rng::new(3);
-            (0..10_000).map(|_| w.next_request(&mut rng).lpn).sum::<u64>()
-        })
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_table1,
-    bench_fig02,
-    bench_fig07,
-    bench_fig08,
-    bench_fig09,
-    bench_fig10,
-    bench_fig11,
-    bench_fig12,
-    bench_fig13,
-    bench_fig14,
-    bench_fig15,
-    bench_fig16,
-    bench_extensions,
-    bench_kernel_primitives,
-);
-criterion_main!(benches);

@@ -3,6 +3,9 @@
 //! ```text
 //! dssd-cli run        --arch dssd_f --pages 8 --ms 30 [--pattern random]
 //!                     [--qd 64] [--dram-hit] [--gc-continuous] [--seed N]
+//!                     [--fault-read-transient P] [--fault-read-hard P]
+//!                     [--fault-program P] [--fault-erase P] [--fault-noc P]
+//!                     [--fault-max-retries N] [--fault-retry-success P]
 //! dssd-cli trace      --volume prn_0 --arch baseline [--speedup 10] [--ms 40]
 //! dssd-cli trace      --csv FILE --arch dssd_f [--ms 40]
 //! dssd-cli endurance  [--policy recycled] [--superblocks 256] [--sigma 826.9]
@@ -21,7 +24,7 @@ use dssd_kernel::{Rng, SimSpan};
 use dssd_noc::traffic::{schedule, Pattern};
 use dssd_noc::{drive, Network, NocConfig, TopologyKind};
 use dssd_reliability::{EnduranceConfig, EnduranceSim, SuperblockPolicy};
-use dssd_ssd::{Architecture, SsdConfig, SsdSim, StageKind};
+use dssd_ssd::{Architecture, FaultConfig, SsdConfig, SsdSim, StageKind};
 use dssd_workload::{msr, AccessPattern, SyntheticWorkload, Trace};
 
 const USAGE: &str = "usage: dssd-cli <run|trace|endurance|noc|volumes> [--flags]
@@ -75,7 +78,23 @@ fn build_config(flags: &Flags) -> Result<SsdConfig, ArgError> {
     if factor >= 1.0 {
         cfg = cfg.with_onchip_factor(factor);
     }
+    cfg.faults = build_faults(flags)?;
     Ok(cfg)
+}
+
+fn build_faults(flags: &Flags) -> Result<FaultConfig, ArgError> {
+    let mut f = FaultConfig::none();
+    f.read_transient_prob = flags.get_or("fault-read-transient", 0.0)?;
+    f.read_hard_prob = flags.get_or("fault-read-hard", 0.0)?;
+    f.program_fail_prob = flags.get_or("fault-program", 0.0)?;
+    f.erase_fail_prob = flags.get_or("fault-erase", 0.0)?;
+    f.noc_degrade_prob = flags.get_or("fault-noc", 0.0)?;
+    f.max_read_retries = flags.get_or("fault-max-retries", f.max_read_retries)?;
+    f.retry_success_prob = flags.get_or("fault-retry-success", f.retry_success_prob)?;
+    if let Some(err) = f.validate() {
+        return Err(ArgError(err));
+    }
+    Ok(f)
 }
 
 fn print_report(sim: &mut SsdSim) {
@@ -96,6 +115,28 @@ fn print_report(sim: &mut SsdSim) {
     );
     if let Some(eol) = r.end_of_life {
         println!("END OF LIFE at {:.1} ms", eol.as_ms_f64());
+    }
+    let c = r.faults;
+    if c != Default::default() {
+        println!();
+        println!("fault injection:");
+        println!(
+            "  read retries        {} ({} recovered, {} uncorrectable)",
+            c.read_retries, c.reads_recovered, c.uncorrectable_reads
+        );
+        println!("  retry latency added {}", c.retry_latency);
+        println!(
+            "  program failures    {} / erase failures {}",
+            c.program_failures, c.erase_failures
+        );
+        println!(
+            "  blocks retired      {} ({} superblocks retired online, {} remapped)",
+            c.blocks_retired, c.superblocks_retired, r.dynamic_remaps
+        );
+        if c.noc_faults > 0 {
+            println!("  noc packets delayed {}", c.noc_faults);
+        }
+        println!("  requests failed     {}", c.requests_failed);
     }
     println!();
     println!("io breakdown (mean us/stage):");

@@ -387,6 +387,7 @@ mod tests {
         assert_eq!(format!("{p}"), "ch1/w2/d0/pl3/blk4/pg5");
     }
 
+    #[cfg(feature = "proptest")]
     mod props {
         use super::*;
         use proptest::prelude::*;

@@ -119,6 +119,14 @@ impl WearModel {
         self.pe[block] >= self.limits[block]
     }
 
+    /// Marks `block` as worn out immediately, regardless of its remaining
+    /// endurance budget — the field response to a program/erase failure or
+    /// an uncorrectable read: the block can no longer be trusted, so its
+    /// effective limit is "now".
+    pub fn force_worn(&mut self, block: usize) {
+        self.pe[block] = self.pe[block].max(self.limits[block]);
+    }
+
     /// Charges one P/E cycle to `block` and reports its health.
     pub fn erase(&mut self, block: usize) -> EraseOutcome {
         self.pe[block] += 1;
@@ -200,6 +208,20 @@ mod tests {
         let a = model(42);
         let b = model(42);
         assert_eq!(a.limits, b.limits);
+    }
+
+    #[test]
+    fn force_worn_caps_block_immediately() {
+        let mut m = WearModel::with_block_count(2, 100.0, 0.0, &mut Rng::new(6));
+        assert!(!m.is_worn_out(0));
+        m.force_worn(0);
+        assert!(m.is_worn_out(0));
+        assert_eq!(m.remaining(0), 0);
+        assert!((m.rber(0) - 1e-2).abs() < 1e-3);
+        assert!(!m.is_worn_out(1));
+        // Idempotent, and never rolls an already-exceeded count back.
+        m.force_worn(0);
+        assert!(m.is_worn_out(0));
     }
 
     #[test]

@@ -228,14 +228,28 @@ impl Ftl {
     /// fewest valid pages and returns its copy groups and erases.
     /// Returns `None` if no sealed superblock exists.
     pub fn start_gc_round(&mut self) -> Option<GcRound> {
-        let geo = *self.layout.geometry();
         let (idx, _) = self
             .sealed
             .iter()
             .enumerate()
             .min_by_key(|(_, &sb)| self.superblock_valid_pages(sb))?;
         let victim = self.sealed.swap_remove(idx);
+        Some(self.build_gc_round(victim))
+    }
 
+    /// Starts a GC round against a *specific* sealed superblock — the
+    /// relocation step of online retirement: a failing superblock's live
+    /// pages must be moved off before [`Ftl::retire_superblock`] will
+    /// accept it. Returns `None` if `sb` is not sealed (free, active, or
+    /// already retired superblocks have no data to relocate).
+    pub fn start_gc_round_on(&mut self, sb: u32) -> Option<GcRound> {
+        let idx = self.sealed.iter().position(|&s| s == sb)?;
+        let victim = self.sealed.swap_remove(idx);
+        Some(self.build_gc_round(victim))
+    }
+
+    fn build_gc_round(&self, victim: u32) -> GcRound {
+        let geo = *self.layout.geometry();
         let mut groups = Vec::new();
         let mut valid_pages = 0usize;
         for d in 0..self.layout.stripe_dies() {
@@ -263,7 +277,7 @@ impl Ftl {
             }
         }
         let erases = self.layout.sub_blocks(victim).collect();
-        Some(GcRound { victim, groups, erases, valid_pages })
+        GcRound { victim, groups, erases, valid_pages }
     }
 
     /// Allocates destination pages for a GC copy group (up to `want`
@@ -329,6 +343,21 @@ impl Ftl {
             self.stats.erases += 1;
         }
         self.free_sbs.push_back(round.victim);
+        self.stats.gc_rounds += 1;
+    }
+
+    /// Finishes a relocation round started by [`Ftl::start_gc_round_on`]:
+    /// the victim's sub-blocks are erased and unmapped like a normal round,
+    /// but the superblock goes to the retired list instead of back to the
+    /// free pool — it failed in service and must never be allocated again.
+    pub fn finish_gc_round_retiring(&mut self, round: &GcRound) {
+        let geo = *self.layout.geometry();
+        for b in &round.erases {
+            let idx = geo.block_index(*b);
+            self.map.erase_block(idx);
+            self.stats.erases += 1;
+        }
+        self.retired.push(round.victim);
         self.stats.gc_rounds += 1;
     }
 

@@ -324,6 +324,7 @@ mod tests {
         let _ = MappingTable::new(&geo, geo.total_pages() + 1);
     }
 
+    #[cfg(feature = "proptest")]
     mod props {
         use super::*;
         use proptest::prelude::*;

@@ -240,7 +240,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod props {
     use super::*;
     use proptest::prelude::*;

@@ -132,7 +132,7 @@ impl Topology {
                     .collect()
             }
             TopologyKind::Mesh2D { cols } => {
-                assert!(cols >= 1 && terminals % cols == 0,
+                assert!(cols >= 1 && terminals.is_multiple_of(cols),
                         "terminals must fill the 2-D mesh grid");
                 let rows = terminals / cols;
                 (0..terminals)

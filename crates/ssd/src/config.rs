@@ -1,5 +1,6 @@
 //! SSD configuration: Table 1 parameters and the Table 2 architectures.
 
+use crate::faults::FaultConfig;
 use dssd_ctrl::EccConfig;
 use dssd_flash::{FlashGeometry, FlashTiming};
 use dssd_ftl::FtlConfig;
@@ -175,6 +176,9 @@ pub struct SsdConfig {
     /// steady-state work (Sec 6.1: "some random fraction of the pages
     /// are invalidated such that garbage collection will be triggered").
     pub prefill_invalid_fraction: f64,
+    /// Deterministic in-band fault injection ([`FaultConfig::none()`] by
+    /// default: no faults, and the injector is never constructed).
+    pub faults: FaultConfig,
     /// When true, a GC round is always in flight (back-to-back rounds),
     /// modeling the paper's measurement regime for Figs 2/7/8/12/13:
     /// I/O fully utilizes the SSD *while GC is performed*, so GC demand
@@ -208,6 +212,7 @@ impl SsdConfig {
             write_cache_pages: None,
             prefill_target_free: FtlConfig::default().gc_threshold_free,
             prefill_invalid_fraction: 0.5,
+            faults: FaultConfig::none(),
             gc_continuous: false,
             seed: 0x5D_D5,
         }
@@ -375,6 +380,9 @@ impl SsdConfig {
         if self.write_cache_pages == Some(0) {
             return Err("write cache needs capacity".into());
         }
+        if let Some(e) = self.faults.validate() {
+            return Err(e);
+        }
         Ok(())
     }
 }
@@ -469,6 +477,10 @@ mod tests {
         let mut c = SsdConfig::test_tiny(Architecture::Baseline);
         c.dbuf_pages = 0;
         assert!(c.validate().unwrap_err().contains("dBUF"));
+
+        let mut c = SsdConfig::test_tiny(Architecture::Baseline);
+        c.faults.read_hard_prob = 2.0;
+        assert!(c.validate().unwrap_err().contains("fault"));
     }
 
     #[test]

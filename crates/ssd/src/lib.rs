@@ -39,10 +39,12 @@
 
 mod cache;
 mod config;
+mod faults;
 mod metrics;
 mod sim;
 
 pub use config::{Architecture, DynamicSbConfig, SsdConfig, WasScanConfig};
-pub use metrics::{RunReport, StageBreakdown, StageKind};
+pub use faults::{FaultConfig, FaultInjector, ReadFault};
+pub use metrics::{FaultCounters, RunReport, StageBreakdown, StageKind};
 pub use cache::WriteCache;
 pub use sim::SsdSim;

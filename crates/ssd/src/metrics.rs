@@ -99,6 +99,39 @@ impl StageBreakdown {
     }
 }
 
+/// Counts of injected faults and the recovery actions they triggered.
+///
+/// All zeros unless fault injection is enabled (see
+/// [`FaultConfig`](crate::FaultConfig)). `PartialEq` so determinism tests
+/// can compare whole counter sets across same-seed runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Read-retry attempts issued after a failed decode.
+    pub read_retries: u64,
+    /// Extra sense latency added by read retries (sum over all retries).
+    pub retry_latency: SimSpan,
+    /// Read groups recovered by a retry (decoded as `Corrected`).
+    pub reads_recovered: u64,
+    /// Read groups declared uncorrectable after exhausting the retry
+    /// budget (or hitting a hard media failure that outlived it).
+    pub uncorrectable_reads: u64,
+    /// Program operations that reported a program failure.
+    pub program_failures: u64,
+    /// Erase operations that failed at GC time.
+    pub erase_failures: u64,
+    /// Erase blocks marked bad by a fault (distinct blocks; each feeds
+    /// either an SRT/RBT remap or a superblock retirement).
+    pub blocks_retired: u64,
+    /// Superblocks retired online because a bad block could not be
+    /// remapped (relocation GC round + removal from the allocator pools).
+    pub superblocks_retired: u64,
+    /// fNoC packets delayed by an injected link degradation.
+    pub noc_faults: u64,
+    /// Host requests completed with a failure (data loss surfaced to the
+    /// host: retries exhausted or program attempts exhausted).
+    pub requests_failed: u64,
+}
+
 /// Everything measured during one simulation run.
 #[derive(Debug)]
 pub struct RunReport {
@@ -135,6 +168,8 @@ pub struct RunReport {
     /// When the device ran out of erased superblocks (wear-out end of
     /// life), if it did.
     pub end_of_life: Option<SimTime>,
+    /// Injected-fault and recovery-action counts.
+    pub faults: FaultCounters,
     /// Wall-clock end of the measured window.
     pub elapsed: SimSpan,
 }
@@ -158,6 +193,7 @@ impl RunReport {
             bad_superblocks: 0,
             dynamic_remaps: 0,
             end_of_life: None,
+            faults: FaultCounters::default(),
             elapsed: SimSpan::ZERO,
         }
     }

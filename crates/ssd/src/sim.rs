@@ -5,16 +5,17 @@
 //! servers from `dssd-kernel`, so each pipeline stage computes its own
 //! completion time and schedules exactly one event for the next stage.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
-use dssd_ctrl::{CommandId, CommandKind, CommandQueue, DecoupledController};
+use dssd_ctrl::{CommandId, CommandKind, CommandQueue, DecoupledController, EccVerdict};
 use dssd_flash::{DieGrid, EraseOutcome, FlashOp, FlashOpKind, PageAddr, WearModel};
-use dssd_ftl::{CopyGroup, Ftl, GcRound, Lpn};
+use dssd_ftl::{AllocGroup, CopyGroup, Ftl, GcRound, Lpn};
 use dssd_kernel::{BandwidthServer, EventQueue, Rng, SimSpan, SimTime};
 use dssd_noc::{Network, NocEvent, Packet};
 use dssd_workload::{Op, Request, SyntheticWorkload};
 
 use crate::cache::WriteCache;
+use crate::faults::{FaultInjector, ReadFault};
 use crate::metrics::{RunReport, StageKind};
 use crate::{Architecture, SsdConfig};
 
@@ -43,6 +44,9 @@ struct ReqState {
     pages_left: u32,
     total_pages: u32,
     spans: Vec<(StageKind, SimSpan)>,
+    /// The request completed but lost data (read retries or program
+    /// attempts exhausted) — surfaced to the host as a failure.
+    failed: bool,
 }
 
 #[derive(Debug)]
@@ -70,6 +74,47 @@ struct GcState {
     copies_expected: usize,
     erases_outstanding: usize,
     channel_inflight: HashMap<u32, usize>,
+    /// A retirement round: on completion the victim superblock is
+    /// permanently retired instead of recycled into the free pool.
+    retiring: bool,
+}
+
+/// One host read group in flight: enough context for the ECC stage to
+/// classify the decode and for read-retries to re-sense the same die.
+#[derive(Debug, Clone, Copy)]
+struct ReadLeg {
+    req: ReqId,
+    pages: u32,
+    /// Effective (post-SRT-remap) channel, for bus and ECC routing.
+    channel: u32,
+    /// Effective die index, for retry re-senses.
+    die: usize,
+    /// Representative logical address of the group (pre-remap, so fault
+    /// bookkeeping resolves through the SRT like every other path).
+    addr: PageAddr,
+    /// 0 on the first sense; incremented per read-retry.
+    attempt: u32,
+    /// Hard failure (injected media fault or worn-out block): retries
+    /// cannot recover it.
+    hard: bool,
+}
+
+/// One host write group in flight, with enough context to re-allocate
+/// and re-issue it if the program fails.
+#[derive(Debug, Clone)]
+struct WriteLeg {
+    req: ReqId,
+    die: usize,
+    pages: u32,
+    /// Effective (post-SRT-remap) channel, for flash-bus routing.
+    channel: u32,
+    /// The group's logical first address (pre-remap).
+    addr: PageAddr,
+    /// The group's LPNs, carried only when fault injection is enabled (a
+    /// failed program re-allocates them through `Ftl::write_pages`).
+    lpns: Option<Vec<Lpn>>,
+    /// 1 on the first program; incremented per re-allocation.
+    attempt: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -79,15 +124,15 @@ enum Ev {
     /// Open-loop trace arrival.
     Arrive(Request),
     /// Host write group reached the controller (system bus done).
-    WriteAtCtrl { req: ReqId, die: usize, pages: u32, channel: u32 },
+    WriteAtCtrl { leg: WriteLeg },
     /// Host write group transferred over the flash bus.
-    WriteAtDie { req: ReqId, die: usize, pages: u32, addr: PageAddr },
+    WriteAtDie { leg: WriteLeg },
     /// Host write group programmed.
     WriteDone { req: ReqId, pages: u32 },
     /// Host read group: die read finished.
-    ReadAtBus { req: ReqId, pages: u32, channel: u32 },
+    ReadAtBus { leg: ReadLeg },
     /// Host read group: flash bus transfer finished.
-    ReadAtEcc { req: ReqId, pages: u32, channel: u32 },
+    ReadAtEcc { leg: ReadLeg },
     /// Host read group: ECC finished.
     ReadAtSysbus { req: ReqId, pages: u32 },
     /// Host read group: system-bus crossing finished.
@@ -116,6 +161,8 @@ enum Ev {
     EraseDone,
     /// fNoC internal event.
     Noc(NocEvent),
+    /// Re-injection of a packet delayed by an injected link degradation.
+    NocRetry { pkt: Packet },
     /// WAS endurance scan pass begins.
     ScanTick,
     /// One WAS scan read completed its die+bus pipeline.
@@ -148,6 +195,11 @@ pub struct SsdSim {
     jobs: HashMap<JobId, CopyJob>,
     packet_jobs: HashMap<u64, JobId>,
     blocked_writes: VecDeque<(ReqId, Request)>,
+    /// Write groups awaiting re-allocation after a program failure.
+    blocked_rewrites: VecDeque<(ReqId, Vec<Lpn>, u32)>,
+    /// Superblocks holding a failed block, awaiting online retirement.
+    pending_retire: VecDeque<u32>,
+    injector: Option<FaultInjector>,
     next_req: ReqId,
     next_job: JobId,
     next_packet: u64,
@@ -270,6 +322,23 @@ impl SsdSim {
             None => None,
         };
 
+        // Fault injection needs per-block wear state (forced wear-out,
+        // per-block RBER) even when dynamic-superblock management is off.
+        let injector =
+            config.faults.enabled().then(|| FaultInjector::new(config.faults, config.seed));
+        let wear = wear.or_else(|| {
+            injector.as_ref().map(|_| {
+                let d = crate::DynamicSbConfig::default();
+                let mut wrng = Rng::new(config.seed ^ 0x3EA2);
+                WearModel::with_block_count(
+                    geo.total_blocks() as usize,
+                    d.pe_mean,
+                    d.pe_sigma,
+                    &mut wrng,
+                )
+            })
+        });
+
         SsdSim {
             rng,
             ftl,
@@ -290,6 +359,9 @@ impl SsdSim {
             jobs: HashMap::new(),
             packet_jobs: HashMap::new(),
             blocked_writes: VecDeque::new(),
+            blocked_rewrites: VecDeque::new(),
+            pending_retire: VecDeque::new(),
+            injector,
             next_req: 0,
             next_job: 0,
             next_packet: 0,
@@ -433,51 +505,25 @@ impl SsdSim {
                 self.start_request(r);
                 self.check_gc();
             }
-            Ev::WriteAtCtrl { req, die, pages, channel } => {
-                let bytes = self.page_bytes(pages);
-                let t = self.flash_bus[channel as usize].enqueue(self.now, bytes, CLASS_IO);
-                self.req_span(req, StageKind::FlashBus, t.done - self.now);
-                self.queue.push(
-                    t.done,
-                    Ev::WriteAtDie {
-                        req,
-                        die,
-                        pages,
-                        addr: PageAddr {
-                            channel,
-                            way: 0,
-                            die: 0,
-                            plane: 0,
-                            block: 0,
-                            page: 0,
-                        },
-                    },
-                );
+            Ev::WriteAtCtrl { leg } => {
+                let bytes = self.page_bytes(leg.pages);
+                let t =
+                    self.flash_bus[leg.channel as usize].enqueue(self.now, bytes, CLASS_IO);
+                self.req_span(leg.req, StageKind::FlashBus, t.done - self.now);
+                self.queue.push(t.done, Ev::WriteAtDie { leg });
             }
-            Ev::WriteAtDie { req, die, pages, addr } => {
-                let lat = FlashOp::multi_plane(FlashOpKind::Program, addr, pages)
-                    .array_latency(&self.config.timing, &mut self.rng);
-                let (_, done) = self.dies.occupy(die, self.now, lat);
-                self.req_span(req, StageKind::FlashChip, done - self.now);
-                self.queue.push(done, Ev::WriteDone { req, pages });
-            }
+            Ev::WriteAtDie { leg } => self.write_at_die(leg),
             Ev::WriteDone { req, pages } | Ev::ReadDone { req, pages } => {
                 self.finish_pages(req, pages);
             }
-            Ev::ReadAtBus { req, pages, channel } => {
-                let bytes = self.page_bytes(pages);
-                let t = self.flash_bus[channel as usize].enqueue(self.now, bytes, CLASS_IO);
-                self.req_span(req, StageKind::FlashBus, t.done - self.now);
-                self.queue.push(t.done, Ev::ReadAtEcc { req, pages, channel });
+            Ev::ReadAtBus { leg } => {
+                let bytes = self.page_bytes(leg.pages);
+                let t =
+                    self.flash_bus[leg.channel as usize].enqueue(self.now, bytes, CLASS_IO);
+                self.req_span(leg.req, StageKind::FlashBus, t.done - self.now);
+                self.queue.push(t.done, Ev::ReadAtEcc { leg });
             }
-            Ev::ReadAtEcc { req, pages, channel } => {
-                let bytes = self.page_bytes(pages);
-                let t = self.controllers[channel as usize]
-                    .ecc_mut()
-                    .decode_as(self.now, bytes, CLASS_IO);
-                self.req_span(req, StageKind::Ecc, t.done - self.now);
-                self.queue.push(t.done, Ev::ReadAtSysbus { req, pages });
-            }
+            Ev::ReadAtEcc { leg } => self.read_at_ecc(leg),
             Ev::ReadAtSysbus { req, pages } => {
                 let bytes = self.page_bytes(pages);
                 let t = self.sysbus_xfer(bytes, CLASS_IO);
@@ -562,6 +608,11 @@ impl SsdSim {
             Ev::CopyDone { job } => self.copy_done(job),
             Ev::EraseDone => self.erase_done(),
             Ev::Noc(ev) => self.noc_event(ev),
+            Ev::NocRetry { pkt } => {
+                let step =
+                    self.noc.as_mut().expect("NoC retry without NoC").inject(self.now, pkt);
+                self.absorb_noc(step);
+            }
             Ev::ScanTick => self.scan_tick(),
             Ev::ScanReadDone => {
                 self.scan_inflight -= 1;
@@ -598,6 +649,7 @@ impl SsdSim {
                 pages_left: r.pages,
                 total_pages: r.pages,
                 spans: Vec::new(),
+                failed: false,
             },
         );
         if r.dram_hit {
@@ -631,20 +683,7 @@ impl SsdSim {
         }
         let lpns: Vec<Lpn> = r.lpns().map(|l| l % self.ftl.lpn_count()).collect();
         match self.ftl.write_pages(&lpns) {
-            Some(groups) => {
-                for g in groups {
-                    let addr = self.effective_addr(g.addrs[0]);
-                    let die = self.effective_die_index(g.addrs[0]);
-                    let pages = g.len() as u32;
-                    let bytes = self.page_bytes(pages);
-                    let t = self.sysbus_xfer(bytes, CLASS_IO);
-                    self.req_span(id, StageKind::SystemBus, t.1 - self.now);
-                    self.queue.push(
-                        t.1,
-                        Ev::WriteAtCtrl { req: id, die, pages, channel: addr.channel },
-                    );
-                }
-            }
+            Some(groups) => self.issue_write_groups(id, &groups, &lpns, 1),
             None => {
                 // Out of space: the request stalls until GC frees a
                 // superblock — this is where baseline tail latency
@@ -683,7 +722,9 @@ impl SsdSim {
     fn start_read(&mut self, id: ReqId, r: Request) {
         // Group the request's pages by (die, page row) to exploit
         // multi-plane reads where the FTL laid pages out that way.
-        let mut groups: HashMap<(usize, u32, u32), u32> = HashMap::new();
+        // Ordered map: the fault injector draws per group, so iteration
+        // order must be deterministic.
+        let mut groups: BTreeMap<(usize, u32, u32), (u32, PageAddr)> = BTreeMap::new();
         let mut unmapped = 0u32;
         let mut cached = 0u32;
         for lpn in r.lpns() {
@@ -693,10 +734,12 @@ impl SsdSim {
                 continue;
             }
             match self.ftl.translate(lpn) {
-                Some(addr) => {
-                    let addr = self.effective_addr(addr);
+                Some(raw) => {
+                    let addr = self.effective_addr(raw);
                     let die = self.effective_die_index_raw(addr);
-                    *groups.entry((die, addr.page, addr.channel)).or_insert(0) += 1;
+                    let e =
+                        groups.entry((die, addr.page, addr.channel)).or_insert((0, raw));
+                    e.0 += 1;
                 }
                 None => unmapped += 1,
             }
@@ -717,7 +760,7 @@ impl SsdSim {
             self.req_span(id, StageKind::SystemBus, t.1 - self.now);
             self.queue.push(t.1, Ev::ReadDone { req: id, pages: unmapped });
         }
-        for ((die, _row, channel), pages) in groups {
+        for ((die, _row, channel), (pages, raw)) in groups {
             // TinyTail: a read whose chip is busy with (partial) GC is
             // served by RAIN reconstruction — the k-1 stripe peers are
             // read from the other channels and XORed at the front end,
@@ -740,7 +783,20 @@ impl SsdSim {
             .array_latency(&self.config.timing, &mut self.rng);
             let (_, done) = self.dies.occupy(die, self.now, lat);
             self.req_span(id, StageKind::FlashChip, done - self.now);
-            self.queue.push(done, Ev::ReadAtBus { req: id, pages, channel });
+            self.queue.push(
+                done,
+                Ev::ReadAtBus {
+                    leg: ReadLeg {
+                        req: id,
+                        pages,
+                        channel,
+                        die,
+                        addr: raw,
+                        attempt: 0,
+                        hard: false,
+                    },
+                },
+            );
         }
     }
 
@@ -797,6 +853,9 @@ impl SsdSim {
         }
         let state = self.requests.remove(&req).unwrap();
         self.outstanding -= 1;
+        if state.failed {
+            self.report.faults.requests_failed += 1;
+        }
         let latency = self.now - state.arrived;
         self.report.io_latency.record(latency);
         match state.op {
@@ -821,10 +880,25 @@ impl SsdSim {
         if self.gc.is_some() || self.report.end_of_life.is_some() {
             return;
         }
+        if !self.pending_retire.is_empty() {
+            // Failed superblocks jump the queue: they must leave the
+            // allocator pools before normal space reclamation resumes.
+            self.pump_retirement();
+            if self.gc.is_some() {
+                return;
+            }
+        }
         if !self.config.gc_continuous && !self.ftl.needs_gc() {
             return;
         }
         let Some(round) = self.ftl.start_gc_round() else { return };
+        self.begin_round(round, false);
+    }
+
+    /// Installs `round` as the active GC state and starts pumping copies.
+    /// A `retiring` round permanently retires its victim on completion
+    /// instead of recycling it into the free pool.
+    fn begin_round(&mut self, round: GcRound, retiring: bool) {
         self.report.first_gc_at.get_or_insert(self.now);
         let mut pending: VecDeque<CopyGroup> = round.groups.iter().cloned().collect();
         if matches!(self.config.ftl.policy, dssd_ftl::GcPolicy::TinyTail { .. }) {
@@ -840,6 +914,7 @@ impl SsdSim {
             copies_done: 0,
             erases_outstanding: 0,
             channel_inflight: HashMap::new(),
+            retiring,
         });
         self.pump_gc();
     }
@@ -1007,6 +1082,14 @@ impl SsdSim {
                     self.packet_jobs.insert(pid, job);
                     let pkt = Packet::new(pid, src_ch as usize, dst_ch as usize, page_bytes)
                         .with_tag(job);
+                    if self.injector.as_mut().is_some_and(|i| i.noc_degrades()) {
+                        // Injected link degradation: the packet times out
+                        // and is re-injected after the configured delay.
+                        self.report.faults.noc_faults += 1;
+                        let at = self.now + self.config.faults.noc_degrade_latency;
+                        self.queue.push(at, Ev::NocRetry { pkt });
+                        continue;
+                    }
                     let step = self.noc.as_mut().expect("dSSD_f has a NoC").inject(self.now, pkt);
                     self.absorb_noc(step);
                 }
@@ -1107,8 +1190,10 @@ impl SsdSim {
             self.finish_round();
             return;
         }
-        // Erase each die's sub-blocks as one multi-plane erase.
-        let mut per_die: HashMap<usize, u32> = HashMap::new();
+        // Erase each die's sub-blocks as one multi-plane erase. Ordered
+        // map: TLC-style latency ranges draw the RNG per erase, so the
+        // iteration order must be deterministic.
+        let mut per_die: BTreeMap<usize, u32> = BTreeMap::new();
         for b in &self.gc.as_ref().unwrap().round.erases {
             let die = self.effective_die_index(b.page(0));
             *per_die.entry(die).or_insert(0) += 1;
@@ -1141,9 +1226,16 @@ impl SsdSim {
 
     fn finish_round(&mut self) {
         let gc = self.gc.take().expect("finishing absent round");
-        self.ftl.finish_gc_round(&gc.round);
         self.report.gc_rounds += 1;
-        self.apply_wear(&gc.round);
+        if gc.retiring {
+            // Relocation complete: erase the victim's blocks and retire
+            // the superblock for good.
+            self.ftl.finish_gc_round_retiring(&gc.round);
+            self.finish_retirement(gc.round.victim);
+        } else {
+            self.ftl.finish_gc_round(&gc.round);
+            self.apply_wear(&gc.round);
+        }
         self.pump_flush();
         // Retry blocked writes now that a superblock is free.
         let blocked: Vec<_> = self.blocked_writes.drain(..).collect();
@@ -1151,21 +1243,18 @@ impl SsdSim {
             // The request keeps its original arrival time.
             let lpns: Vec<Lpn> = r.lpns().map(|l| l % self.ftl.lpn_count()).collect();
             match self.ftl.write_pages(&lpns) {
-                Some(groups) => {
-                    for g in groups {
-                        let addr = self.effective_addr(g.addrs[0]);
-                        let die = self.effective_die_index(g.addrs[0]);
-                        let pages = g.len() as u32;
-                        let bytes = self.page_bytes(pages);
-                        let t = self.sysbus_xfer(bytes, CLASS_IO);
-                        self.req_span(id, StageKind::SystemBus, t.1 - self.now);
-                        self.queue.push(
-                            t.1,
-                            Ev::WriteAtCtrl { req: id, die, pages, channel: addr.channel },
-                        );
-                    }
-                }
+                Some(groups) => self.issue_write_groups(id, &groups, &lpns, 1),
                 None => self.blocked_writes.push_back((id, r)),
+            }
+        }
+        // And the write groups parked by a program failure.
+        let rewrites: Vec<_> = self.blocked_rewrites.drain(..).collect();
+        for (id, lpns, attempt) in rewrites {
+            match self.ftl.write_pages(&lpns) {
+                Some(groups) => {
+                    self.reissue_write_groups(id, &groups, &lpns, attempt, self.now);
+                }
+                None => self.blocked_rewrites.push_back((id, lpns, attempt)),
             }
         }
         self.check_gc();
@@ -1296,25 +1385,35 @@ impl SsdSim {
     // Online dynamic superblocks (Sec 5)
     // ------------------------------------------------------------------
 
-    /// Charges accelerated wear for the round's erases; worn sub-blocks
-    /// are repaired through the SRT/RBT on decoupled architectures or
-    /// retire the superblock outright.
+    /// Charges accelerated wear for the round's erases; worn (or
+    /// erase-failed) sub-blocks are repaired through the SRT/RBT on
+    /// decoupled architectures or retire the superblock outright.
     fn apply_wear(&mut self, round: &dssd_ftl::GcRound) {
-        let Some(d) = self.config.dynamic_sb else { return };
         if self.wear.is_none() {
             return;
         }
+        let accel = self.config.dynamic_sb.map(|d| d.wear_acceleration.max(1));
         let mut worn = Vec::new();
         for b in &round.erases {
             // Wear accrues on the block physically backing the slot.
-            let idx = self.resolve_block(*b);
-            let wear = self.wear.as_mut().unwrap();
-            if wear.is_worn_out(idx as usize) {
+            let idx = self.resolve_block(*b) as usize;
+            if self.wear.as_ref().unwrap().is_worn_out(idx) {
                 continue;
             }
+            if self.injector.as_mut().is_some_and(|i| i.erase_fails()) {
+                // Injected erase failure: the block dies on the spot,
+                // whatever its endurance budget said.
+                self.report.faults.erase_failures += 1;
+                self.report.faults.blocks_retired += 1;
+                self.wear.as_mut().unwrap().force_worn(idx);
+                worn.push(*b);
+                continue;
+            }
+            let Some(accel) = accel else { continue };
+            let wear = self.wear.as_mut().unwrap();
             let mut dead = false;
-            for _ in 0..d.wear_acceleration.max(1) {
-                if wear.erase(idx as usize) == EraseOutcome::WornOut {
+            for _ in 0..accel {
+                if wear.erase(idx) == EraseOutcome::WornOut {
                     dead = true;
                     break;
                 }
@@ -1390,6 +1489,319 @@ impl SsdSim {
             .get(b.channel as usize)
             .and_then(|c| c.srt().lookup(key))
             .unwrap_or(key)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and in-band failure handling
+    // ------------------------------------------------------------------
+
+    /// Issues freshly allocated host write groups: each group crosses the
+    /// system bus (host DMA) and then enters the flash path. `attempt`
+    /// seeds the per-group program-failure budget.
+    fn issue_write_groups(
+        &mut self,
+        req: ReqId,
+        groups: &[AllocGroup],
+        lpns: &[Lpn],
+        attempt: u32,
+    ) {
+        // LPNs ride along only when a failed program may need them.
+        let carry = self.injector.is_some();
+        let mut off = 0usize;
+        for g in groups {
+            let n = g.len();
+            let sub = if carry { Some(lpns[off..off + n].to_vec()) } else { None };
+            off += n;
+            let eff = self.effective_addr(g.addrs[0]);
+            let die = self.effective_die_index(g.addrs[0]);
+            let pages = n as u32;
+            let bytes = self.page_bytes(pages);
+            let t = self.sysbus_xfer(bytes, CLASS_IO);
+            self.req_span(req, StageKind::SystemBus, t.1 - self.now);
+            self.queue.push(
+                t.1,
+                Ev::WriteAtCtrl {
+                    leg: WriteLeg {
+                        req,
+                        die,
+                        pages,
+                        channel: eff.channel,
+                        addr: g.addrs[0],
+                        lpns: sub,
+                        attempt,
+                    },
+                },
+            );
+        }
+    }
+
+    /// Re-issues re-allocated write groups after a program failure. The
+    /// data is still in the controller, so only the flash path is charged
+    /// (no second host DMA across the system bus).
+    fn reissue_write_groups(
+        &mut self,
+        req: ReqId,
+        groups: &[AllocGroup],
+        lpns: &[Lpn],
+        attempt: u32,
+        at: SimTime,
+    ) {
+        let mut off = 0usize;
+        for g in groups {
+            let n = g.len();
+            let sub = Some(lpns[off..off + n].to_vec());
+            off += n;
+            let eff = self.effective_addr(g.addrs[0]);
+            let die = self.effective_die_index(g.addrs[0]);
+            self.queue.push(
+                at,
+                Ev::WriteAtCtrl {
+                    leg: WriteLeg {
+                        req,
+                        die,
+                        pages: n as u32,
+                        channel: eff.channel,
+                        addr: g.addrs[0],
+                        lpns: sub,
+                        attempt,
+                    },
+                },
+            );
+        }
+    }
+
+    /// Programs one host write group, with an optional injected failure
+    /// surfacing in the status read after the program time was spent.
+    fn write_at_die(&mut self, leg: WriteLeg) {
+        let lat = FlashOp::multi_plane(FlashOpKind::Program, leg.addr, leg.pages)
+            .array_latency(&self.config.timing, &mut self.rng);
+        let (_, done) = self.dies.occupy(leg.die, self.now, lat);
+        self.req_span(leg.req, StageKind::FlashChip, done - self.now);
+        if self.injector.as_mut().is_some_and(|i| i.program_fails()) {
+            self.report.faults.program_failures += 1;
+            self.handle_program_failure(leg, done);
+            return;
+        }
+        self.queue.push(done, Ev::WriteDone { req: leg.req, pages: leg.pages });
+    }
+
+    /// A program reported failure: retire the block, then re-allocate and
+    /// re-issue the group — or complete the request as failed once the
+    /// attempt budget is spent.
+    fn handle_program_failure(&mut self, leg: WriteLeg, at: SimTime) {
+        self.mark_block_bad(leg.addr.block_addr());
+        let out_of_budget = leg.attempt >= self.config.faults.max_program_attempts;
+        let Some(lpns) = leg.lpns.filter(|_| !out_of_budget) else {
+            // Attempts exhausted: the write completes, but the request is
+            // surfaced to the host as failed.
+            if let Some(st) = self.requests.get_mut(&leg.req) {
+                st.failed = true;
+            }
+            self.queue.push(at, Ev::WriteDone { req: leg.req, pages: leg.pages });
+            return;
+        };
+        match self.ftl.write_pages(&lpns) {
+            Some(groups) => {
+                self.reissue_write_groups(leg.req, &groups, &lpns, leg.attempt + 1, at);
+            }
+            None => {
+                // No space for the re-allocation: park it until GC frees
+                // a superblock.
+                self.blocked_rewrites.push_back((leg.req, lpns, leg.attempt + 1));
+                self.check_gc();
+            }
+        }
+    }
+
+    /// The ECC stage of a host read group: decode timing, then — when
+    /// fault injection is enabled — an in-band verdict that can trigger a
+    /// read-retry or an uncorrectable-read recovery.
+    fn read_at_ecc(&mut self, mut leg: ReadLeg) {
+        let bytes = self.page_bytes(leg.pages);
+        let t = self.controllers[leg.channel as usize]
+            .ecc_mut()
+            .decode_as(self.now, bytes, CLASS_IO);
+        self.req_span(leg.req, StageKind::Ecc, t.done - self.now);
+        if self.injector.is_none() {
+            self.queue.push(t.done, Ev::ReadAtSysbus { req: leg.req, pages: leg.pages });
+            return;
+        }
+        match self.classify_read(&mut leg) {
+            EccVerdict::Clean | EccVerdict::Corrected => {
+                if leg.attempt > 0 {
+                    // A retry pulled the data back under the correction
+                    // threshold.
+                    self.report.faults.reads_recovered += 1;
+                }
+                self.queue
+                    .push(t.done, Ev::ReadAtSysbus { req: leg.req, pages: leg.pages });
+            }
+            EccVerdict::Uncorrectable => {
+                if leg.attempt < self.config.faults.max_read_retries {
+                    self.schedule_read_retry(leg, t.done);
+                } else {
+                    self.fail_read(leg, t.done);
+                }
+            }
+        }
+    }
+
+    /// Decides the decode verdict for one read group. The first attempt
+    /// draws the injected fault class (or falls back to the wear model's
+    /// RBER); retries re-check — hard failures stay uncorrectable,
+    /// transient ones recover with `retry_success_prob`.
+    fn classify_read(&mut self, leg: &mut ReadLeg) -> EccVerdict {
+        let uncorrectable = self.config.ecc.correctable_rber;
+        let corrected = self.config.ecc.clean_rber;
+        let rber = if leg.attempt == 0 {
+            match self.injector.as_mut().expect("classify without injector").read_outcome()
+            {
+                ReadFault::Hard => {
+                    leg.hard = true;
+                    uncorrectable
+                }
+                ReadFault::Transient => uncorrectable,
+                ReadFault::None => {
+                    let r = self.block_rber(leg.addr);
+                    if r >= uncorrectable {
+                        // Worn-out media: every re-read sees the same RBER.
+                        leg.hard = true;
+                    }
+                    r
+                }
+            }
+        } else if leg.hard {
+            uncorrectable
+        } else if self.injector.as_mut().unwrap().retry_recovers() {
+            // Decoded successfully at a shifted reference voltage.
+            corrected
+        } else {
+            uncorrectable
+        };
+        self.controllers[leg.channel as usize].ecc_mut().check(rber)
+    }
+
+    /// RBER of the block physically backing `addr`, per the wear model.
+    /// Fresh (never-erased) blocks read as error-free rather than sitting
+    /// exactly on the `Corrected` threshold.
+    fn block_rber(&self, addr: PageAddr) -> f64 {
+        let Some(wear) = &self.wear else { return 0.0 };
+        let idx = self.resolve_block(addr.block_addr()) as usize;
+        if wear.pe_count(idx) == 0 {
+            return 0.0;
+        }
+        wear.rber(idx)
+    }
+
+    /// Issues one read-retry: the die is re-sensed with escalated latency
+    /// (deeper reference-voltage sweeps), then the data crosses the flash
+    /// bus to the ECC engine again.
+    fn schedule_read_retry(&mut self, mut leg: ReadLeg, at: SimTime) {
+        leg.attempt += 1;
+        let base = FlashOp::multi_plane(FlashOpKind::Read, leg.addr, leg.pages)
+            .array_latency(&self.config.timing, &mut self.rng);
+        let factor = self.config.faults.retry_latency_factor.powi(leg.attempt as i32);
+        let lat = SimSpan::from_ns((base.as_ns() as f64 * factor).round() as u64);
+        let (_, done) = self.dies.occupy(leg.die, at, lat);
+        self.req_span(leg.req, StageKind::FlashChip, done - at);
+        self.report.faults.read_retries += 1;
+        self.report.faults.retry_latency += done - at;
+        self.queue.push(done, Ev::ReadAtBus { leg });
+    }
+
+    /// Retries exhausted: the read is uncorrectable. The failing block is
+    /// retired, the request is marked failed for the report, and the
+    /// (front-end-reconstructed) data still crosses the system bus so the
+    /// request completes instead of hanging.
+    fn fail_read(&mut self, leg: ReadLeg, at: SimTime) {
+        self.report.faults.uncorrectable_reads += 1;
+        if let Some(st) = self.requests.get_mut(&leg.req) {
+            st.failed = true;
+        }
+        self.mark_block_bad(leg.addr.block_addr());
+        self.queue.push(at, Ev::ReadAtSysbus { req: leg.req, pages: leg.pages });
+    }
+
+    /// A block failed in service (program failure or uncorrectable read):
+    /// mark it worn, then repair through the SRT/RBT on decoupled
+    /// architectures or queue its superblock for online retirement.
+    fn mark_block_bad(&mut self, b: dssd_flash::BlockAddr) {
+        let idx = self.resolve_block(b) as usize;
+        if let Some(w) = self.wear.as_mut() {
+            if w.is_worn_out(idx) {
+                // Already handled (reads racing on the same dying block).
+                return;
+            }
+            w.force_worn(idx);
+        }
+        self.report.faults.blocks_retired += 1;
+        if self.config.architecture.is_decoupled() && self.try_remap_worn(b) {
+            return;
+        }
+        self.schedule_retirement(b.block);
+    }
+
+    /// Queues superblock `sb` for online retirement (idempotent) and
+    /// tries to start it immediately.
+    fn schedule_retirement(&mut self, sb: u32) {
+        if !self.pending_retire.contains(&sb)
+            && !self.ftl.retired_superblocks().contains(&sb)
+        {
+            self.pending_retire.push_back(sb);
+        }
+        self.pump_retirement();
+    }
+
+    /// Starts the next queued superblock retirement if no GC round is
+    /// active: empty superblocks retire immediately; sealed ones get a
+    /// relocation round first; active ones wait until they rotate out.
+    fn pump_retirement(&mut self) {
+        if self.gc.is_some() || self.report.end_of_life.is_some() {
+            return;
+        }
+        for _ in 0..self.pending_retire.len() {
+            let sb = self.pending_retire.pop_front().expect("checked non-empty");
+            if self.ftl.retired_superblocks().contains(&sb) {
+                // Raced with a wear-driven retirement of the same victim.
+                continue;
+            }
+            if self.ftl.superblock_valid_pages(sb) == 0 {
+                if self.ftl.retire_superblock(sb) {
+                    self.finish_retirement(sb);
+                    continue;
+                }
+                // Active superblock: re-queue until it rotates out.
+                self.pending_retire.push_back(sb);
+                continue;
+            }
+            // Live data must be relocated first: run a GC round against
+            // this specific victim and retire it on completion.
+            match self.ftl.start_gc_round_on(sb) {
+                Some(round) => {
+                    self.begin_round(round, true);
+                    return;
+                }
+                // Active (host or GC) superblock: try again later.
+                None => self.pending_retire.push_back(sb),
+            }
+        }
+    }
+
+    /// Accounting for a completed superblock retirement: on decoupled
+    /// architectures the still-healthy sub-blocks feed the recycle bins.
+    fn finish_retirement(&mut self, sb: u32) {
+        self.report.bad_superblocks += 1;
+        self.report.faults.superblocks_retired += 1;
+        if self.config.architecture.is_decoupled() {
+            for b in self.ftl.layout().sub_blocks(sb).collect::<Vec<_>>() {
+                let idx = self.resolve_block(b);
+                let healthy =
+                    !self.wear.as_ref().is_some_and(|w| w.is_worn_out(idx as usize));
+                if healthy {
+                    let _ = self.controllers[b.channel as usize].rbt_mut().deposit(idx);
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -2076,5 +2488,190 @@ mod write_cache_tests {
         sim.run_closed_loop(wl, SimSpan::from_ms(30));
         assert!(sim.report().gc_rounds > 0, "GC must run under flush pressure");
         assert!(sim.ftl().stats().host_pages_written > 10_000);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::{Architecture, FaultConfig};
+    use dssd_workload::AccessPattern;
+
+    fn run_with(
+        arch: Architecture,
+        faults: FaultConfig,
+        reads: bool,
+        gc_continuous: bool,
+        ms: u64,
+    ) -> SsdSim {
+        let mut cfg = SsdConfig::test_tiny(arch);
+        cfg.faults = faults;
+        cfg.gc_continuous = gc_continuous;
+        let mut sim = SsdSim::new(cfg);
+        sim.prefill();
+        let wl = if reads {
+            SyntheticWorkload::reads(AccessPattern::Random, 4)
+        } else {
+            SyntheticWorkload::writes(AccessPattern::Random, 4)
+        };
+        sim.run_closed_loop(wl, SimSpan::from_ms(ms));
+        sim
+    }
+
+    #[test]
+    fn zero_rate_counters_stay_zero() {
+        for arch in [Architecture::Baseline, Architecture::DssdFnoc] {
+            for reads in [false, true] {
+                let sim = run_with(arch, FaultConfig::none(), reads, false, 5);
+                assert_eq!(
+                    sim.report().faults,
+                    crate::FaultCounters::default(),
+                    "{}: zero-rate run must not count faults",
+                    arch.label()
+                );
+                assert!(sim.report().requests_completed > 100);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_fault_class_is_bit_identical_to_no_injector() {
+        // The baseline has no fNoC, so with only the NoC rate nonzero the
+        // injector is constructed but never consulted on a drawn path —
+        // the run must be bit-identical to one without the subsystem.
+        let go = |faults: FaultConfig| {
+            let sim = run_with(Architecture::Baseline, faults, false, false, 5);
+            let r = sim.report();
+            (r.requests_completed, r.gc_pages_copied, r.io_bw.total_bytes(), r.faults)
+        };
+        let mut noc_only = FaultConfig::none();
+        noc_only.noc_degrade_prob = 1.0;
+        assert_eq!(go(FaultConfig::none()), go(noc_only));
+    }
+
+    #[test]
+    fn transient_read_faults_retry_and_mostly_recover() {
+        let mut f = FaultConfig::none();
+        f.read_transient_prob = 0.2;
+        let sim = run_with(Architecture::DssdFnoc, f, true, false, 5);
+        let c = sim.report().faults;
+        assert!(c.read_retries > 0, "transient faults must trigger retries");
+        assert!(c.reads_recovered > 0, "most retries must recover");
+        assert!(c.retry_latency > SimSpan::ZERO);
+        assert!(
+            c.reads_recovered + c.uncorrectable_reads > 0
+                && c.reads_recovered > c.uncorrectable_reads,
+            "recovered {} vs uncorrectable {}",
+            c.reads_recovered,
+            c.uncorrectable_reads
+        );
+        assert!(sim.report().requests_completed > 100, "I/O must keep flowing");
+    }
+
+    #[test]
+    fn hard_read_faults_retire_blocks_online() {
+        let mut f = FaultConfig::none();
+        f.read_hard_prob = 0.002;
+        let sim = run_with(Architecture::DssdFnoc, f, true, false, 10);
+        let r = sim.report();
+        let c = r.faults;
+        assert!(c.uncorrectable_reads > 0, "hard faults must exhaust retries");
+        assert!(c.blocks_retired > 0, "failing blocks must be retired");
+        // Every declared-uncorrectable read burned the whole budget (legs
+        // still mid-retry at the horizon can push the count higher).
+        assert!(
+            c.read_retries
+                >= c.uncorrectable_reads * u64::from(sim.config().faults.max_read_retries),
+            "retries {} for {} uncorrectable reads",
+            c.read_retries,
+            c.uncorrectable_reads
+        );
+        assert!(c.requests_failed > 0 && c.requests_failed <= c.uncorrectable_reads);
+        // The first failure finds an empty RBT and retires the whole
+        // superblock; its healthy sub-blocks then stock the bins, so
+        // later failures remap silently.
+        assert!(
+            c.superblocks_retired > 0 && r.dynamic_remaps > 0,
+            "retired {} remaps {}",
+            c.superblocks_retired,
+            r.dynamic_remaps
+        );
+        assert_eq!(r.bad_superblocks as u64, c.superblocks_retired);
+        assert_eq!(
+            sim.ftl().retired_superblocks().len() as u64,
+            c.superblocks_retired
+        );
+    }
+
+    #[test]
+    fn conventional_architecture_retires_instead_of_remapping() {
+        let mut f = FaultConfig::none();
+        f.read_hard_prob = 0.002;
+        // Baseline GC shares the system bus with host reads, so the
+        // relocation round of the first retirement needs a longer window.
+        let sim = run_with(Architecture::Baseline, f, true, false, 25);
+        let r = sim.report();
+        assert_eq!(r.dynamic_remaps, 0, "no SRT hardware on the baseline");
+        assert!(r.faults.superblocks_retired > 0);
+        assert_eq!(
+            sim.ftl().retired_superblocks().len() as u64,
+            r.faults.superblocks_retired
+        );
+    }
+
+    #[test]
+    fn program_failures_reallocate_and_complete() {
+        let mut f = FaultConfig::none();
+        f.program_fail_prob = 0.01;
+        let sim = run_with(Architecture::DssdFnoc, f, false, false, 5);
+        let c = sim.report().faults;
+        assert!(c.program_failures > 0, "program faults must fire");
+        assert!(c.blocks_retired > 0, "failed programs must retire blocks");
+        assert!(sim.report().requests_completed > 100, "writes must complete");
+        // With a 3-attempt budget and a 1% rate, surfacing a failure to
+        // the host (p^3) should be rare to absent.
+        assert!(c.requests_failed <= c.program_failures / 10);
+    }
+
+    #[test]
+    fn erase_failures_kill_blocks_at_gc_time() {
+        let mut f = FaultConfig::none();
+        f.erase_fail_prob = 0.05;
+        let sim = run_with(Architecture::DssdFnoc, f, false, true, 20);
+        let r = sim.report();
+        assert!(r.gc_rounds > 0, "GC must run");
+        assert!(r.faults.erase_failures > 0, "erase faults must fire at GC");
+        assert!(r.faults.blocks_retired >= r.faults.erase_failures);
+        assert!(r.dynamic_remaps > 0, "erase-failed blocks are remapped");
+    }
+
+    #[test]
+    fn noc_degradation_delays_but_does_not_lose_packets() {
+        let mut f = FaultConfig::none();
+        f.noc_degrade_prob = 0.05;
+        let sim = run_with(Architecture::DssdFnoc, f, false, true, 15);
+        let r = sim.report();
+        assert!(r.faults.noc_faults > 0, "link degradations must fire");
+        assert!(r.gc_pages_copied > 0, "GC must still make progress");
+        assert!(
+            r.gc_rounds > 0,
+            "rounds must close: every delayed packet is re-injected"
+        );
+    }
+
+    #[test]
+    fn fault_counters_are_deterministic_per_seed() {
+        let go = || {
+            let mut f = FaultConfig::none();
+            f.read_transient_prob = 0.1;
+            f.read_hard_prob = 0.001;
+            f.program_fail_prob = 0.005;
+            f.erase_fail_prob = 0.02;
+            f.noc_degrade_prob = 0.02;
+            let sim = run_with(Architecture::DssdFnoc, f, false, true, 10);
+            let r = sim.report();
+            (r.faults, r.requests_completed, r.gc_pages_copied, r.io_bw.total_bytes())
+        };
+        assert_eq!(go(), go());
     }
 }

@@ -1,0 +1,135 @@
+//! Integration tests for in-band fault injection: determinism of the
+//! failure counters across same-seed runs, and a walkthrough of the
+//! uncorrectable-read recovery path — retry escalation, SRT/RBT
+//! remapping, and online superblock retirement — on a live decoupled
+//! simulation.
+
+use dssd_kernel::SimSpan;
+use dssd_ssd::{Architecture, FaultConfig, SsdConfig, SsdSim};
+use dssd_workload::{AccessPattern, SyntheticWorkload};
+
+fn faulty_config(arch: Architecture) -> SsdConfig {
+    let mut cfg = SsdConfig::test_tiny(arch);
+    let mut f = FaultConfig::none();
+    f.read_transient_prob = 0.05;
+    f.read_hard_prob = 0.002;
+    f.program_fail_prob = 0.002;
+    f.erase_fail_prob = 0.01;
+    f.noc_degrade_prob = 0.01;
+    cfg.faults = f;
+    cfg
+}
+
+/// Same seed + same `FaultConfig` ⇒ identical failure counters and an
+/// identical run, fault class by fault class.
+#[test]
+fn same_seed_same_faults_is_reproducible() {
+    let go = |seed: u64| {
+        let mut cfg = faulty_config(Architecture::DssdFnoc);
+        cfg.seed = seed;
+        cfg.gc_continuous = true;
+        let mut sim = SsdSim::new(cfg);
+        sim.prefill();
+        let wl = SyntheticWorkload::mixed(AccessPattern::Random, 4, 0.5);
+        sim.run_closed_loop(wl, SimSpan::from_ms(10));
+        let r = sim.report();
+        (
+            r.faults,
+            r.requests_completed,
+            r.gc_pages_copied,
+            r.gc_rounds,
+            r.bad_superblocks,
+            r.dynamic_remaps,
+            r.io_bw.total_bytes(),
+        )
+    };
+    assert_eq!(go(7), go(7));
+    // A different seed must actually reshuffle the injected faults
+    // (otherwise the "determinism" above would be vacuous).
+    assert_ne!(go(7).0, go(8).0);
+}
+
+/// The full uncorrectable-read walkthrough on a decoupled architecture:
+/// a hard media fault exhausts the retry budget, the block is forced
+/// worn, the first failure retires a superblock online (relocation GC
+/// round included) and stocks the recycle bins, and later failures are
+/// silently repaired through the SRT/RBT remap path.
+#[test]
+fn uncorrectable_read_walkthrough_decoupled() {
+    let mut cfg = SsdConfig::test_tiny(Architecture::DssdFnoc);
+    let mut f = FaultConfig::none();
+    f.read_hard_prob = 0.002;
+    cfg.faults = f;
+    let mut sim = SsdSim::new(cfg);
+    sim.prefill();
+    let wl = SyntheticWorkload::reads(AccessPattern::Random, 4);
+    sim.run_closed_loop(wl, SimSpan::from_ms(15));
+
+    let r = sim.report();
+    let c = r.faults;
+
+    // Retries escalate and fail: every declared-uncorrectable read burned
+    // the whole budget (legs still mid-retry at the horizon push the
+    // retry count higher).
+    assert!(c.uncorrectable_reads > 0, "hard faults must occur in 15 ms");
+    assert!(
+        c.read_retries
+            >= c.uncorrectable_reads * u64::from(sim.config().faults.max_read_retries)
+    );
+    assert!(c.retry_latency > SimSpan::ZERO);
+    assert!(c.requests_failed > 0 && c.requests_failed <= c.uncorrectable_reads);
+
+    // Each failure retired its block (re-reads of an already-worn block
+    // do not double count); recovery then split between whole-superblock
+    // retirement (RBT empty) and silent remaps.
+    assert!(c.blocks_retired > 0 && c.blocks_retired <= c.uncorrectable_reads);
+    assert!(c.superblocks_retired > 0, "first failure must retire online");
+    assert!(r.dynamic_remaps > 0, "later failures must remap via SRT/RBT");
+    assert!(
+        r.dynamic_remaps + c.superblocks_retired <= c.blocks_retired,
+        "each bad block is remapped, retired, or still queued at the horizon"
+    );
+
+    // FTL and controller state agree with the counters: the retired
+    // superblocks left the allocator pools, and the SRT holds one entry
+    // per remap.
+    assert_eq!(
+        sim.ftl().retired_superblocks().len() as u64,
+        c.superblocks_retired
+    );
+    let srt_entries: u64 = (0..sim.config().geometry.channels as usize)
+        .map(|ch| sim.controller(ch).srt().active_entries() as u64)
+        .sum();
+    assert_eq!(srt_entries, r.dynamic_remaps);
+
+    // The host never hangs: reads complete (as failures) even when the
+    // data is gone.
+    assert!(r.requests_completed > 1_000);
+}
+
+/// All fault classes enabled at once on every architecture: the
+/// simulation must complete without panicking and keep serving I/O.
+#[test]
+fn all_fault_classes_on_every_architecture() {
+    for arch in Architecture::all() {
+        let mut cfg = faulty_config(arch);
+        cfg.gc_continuous = true;
+        let mut sim = SsdSim::new(cfg);
+        sim.prefill();
+        let wl = SyntheticWorkload::mixed(AccessPattern::Random, 4, 0.5);
+        sim.run_closed_loop(wl, SimSpan::from_ms(10));
+        let r = sim.report();
+        assert!(
+            r.requests_completed > 100,
+            "{}: I/O must survive fault injection ({} completed)",
+            arch.label(),
+            r.requests_completed
+        );
+        let c = r.faults;
+        assert!(
+            c.read_retries > 0 || c.program_failures > 0 || c.erase_failures > 0,
+            "{}: some injected fault must have fired",
+            arch.label()
+        );
+    }
+}

@@ -1,3 +1,7 @@
+// Gated: requires the `proptest` dev-dependency, which is not
+// vendored for offline builds. Enable with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property-based model checking of the FTL against a reference map.
 //!
 //! A plain `HashMap<Lpn, u64>` (LPN → write version) acts as the model;

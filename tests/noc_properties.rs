@@ -1,3 +1,7 @@
+// Gated: requires the `proptest` dev-dependency, which is not
+// vendored for offline builds. Enable with `--features proptest`.
+#![cfg(feature = "proptest")]
+
 //! Property-based tests of the fNoC: exactly-once delivery, flow
 //! ordering, and conservation under arbitrary loads and topologies.
 
