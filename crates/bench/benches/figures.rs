@@ -8,9 +8,16 @@
 //! `criterion`, so the workspace resolves with no network access.
 //! Benchmark names can be filtered by passing substrings:
 //! `cargo bench --bench figures -- fig07 fig13`.
+//!
+//! Besides the console table, a machine-readable copy of every measured
+//! scenario — median/min/max wall time plus events/sec where the
+//! scenario reports its kernel event count — is written to
+//! `results/bench.json`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use dssd_bench::runner::{self, BenchRecord};
 use dssd_bench::{perf_config, run_synthetic, run_trace};
 use dssd_kernel::{Rng, SimSpan, SimTime};
 use dssd_noc::traffic::{schedule, Pattern};
@@ -23,37 +30,49 @@ const MS: u64 = 3;
 const WARMUP: usize = 1;
 const SAMPLES: usize = 5;
 
-/// Times `f` (WARMUP discarded runs, then SAMPLES measured runs) and
-/// prints `name: median [min .. max]`. A `std::hint::black_box` on the
-/// closure result keeps the work from being optimized away.
-fn bench<T>(filter: &[String], name: &str, mut f: impl FnMut() -> T) {
+/// Event count of the most recent run, reported by scenarios that know
+/// it (via [`note_events`]) so the JSON output can derive events/sec.
+/// The count is deterministic across same-seed runs, so "last run" is
+/// exact, not approximate.
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+fn note_events(n: u64) {
+    EVENTS.store(n, Ordering::Relaxed);
+}
+
+/// Times `f` (WARMUP discarded runs, then SAMPLES measured runs), prints
+/// `name: median [min .. max]` and appends a [`BenchRecord`] to `out`.
+/// A `std::hint::black_box` on the closure result keeps the work from
+/// being optimized away.
+fn bench<T>(out: &mut Vec<BenchRecord>, filter: &[String], name: &str, mut f: impl FnMut() -> T) {
     if !filter.is_empty() && !filter.iter().any(|p| name.contains(p.as_str())) {
         return;
     }
+    EVENTS.store(0, Ordering::Relaxed);
     for _ in 0..WARMUP {
         std::hint::black_box(f());
     }
-    let mut samples: Vec<Duration> = (0..SAMPLES)
+    let samples: Vec<Duration> = (0..SAMPLES)
         .map(|_| {
             let t0 = Instant::now();
             std::hint::black_box(f());
             t0.elapsed()
         })
         .collect();
-    samples.sort();
-    let median = samples[samples.len() / 2];
+    let record = BenchRecord::from_samples(name, &samples, EVENTS.load(Ordering::Relaxed));
     println!(
         "{name:<40} {:>10.3} ms  [{:.3} .. {:.3}]",
-        median.as_secs_f64() * 1e3,
-        samples[0].as_secs_f64() * 1e3,
-        samples[samples.len() - 1].as_secs_f64() * 1e3,
+        record.median_ms, record.min_ms, record.max_ms,
     );
+    out.push(record);
 }
 
 fn synthetic(arch: Architecture, pages: u32, hit: f64) -> f64 {
     let mut cfg = perf_config(arch);
     cfg.gc_continuous = true;
-    run_synthetic(cfg, AccessPattern::Random, pages, 0.0, hit, SimSpan::from_ms(MS)).io_gbps
+    let s = run_synthetic(cfg, AccessPattern::Random, pages, 0.0, hit, SimSpan::from_ms(MS));
+    note_events(s.events);
+    s.io_gbps
 }
 
 fn main() {
@@ -64,49 +83,69 @@ fn main() {
         .filter(|a| !a.starts_with('-'))
         .collect();
     let f = &filter;
+    let mut records: Vec<BenchRecord> = Vec::new();
 
-    bench(f, "table1_config_build", || {
+    bench(&mut records, f, "table1_config_build", || {
         SsdSim::new(SsdConfig::test_tiny(Architecture::DssdFnoc))
     });
 
-    bench(f, "fig02_timeline_baseline", || {
+    bench(&mut records, f, "fig02_timeline_baseline", || {
         dssd_bench::run_timeline(perf_config(Architecture::Baseline), 8, SimSpan::from_ms(MS))
     });
 
     for arch in Architecture::all() {
-        bench(f, &format!("fig07_architectures/{}", arch.label()), || {
+        bench(&mut records, f, &format!("fig07_architectures/{}", arch.label()), || {
             synthetic(arch, 8, 0.0)
         });
     }
 
-    bench(f, "fig08_bw_sweep_point", || {
+    bench(&mut records, f, "fig08_bw_sweep_point", || {
         let mut cfg = perf_config(Architecture::DssdFnoc).with_onchip_factor(2.0);
         cfg.gc_continuous = true;
-        run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 0.0, SimSpan::from_ms(MS))
+        let s = run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 0.0, SimSpan::from_ms(MS));
+        note_events(s.events);
+        s
     });
 
-    bench(f, "fig09_breakdown_run", || {
+    // The same five-architecture sweep as fig07, fanned out through the
+    // parallel runner: jobs1 vs jobsN wall times in `results/bench.json`
+    // give the sweep's multicore scaling, and the per-point summaries
+    // are bit-identical either way (see `runner` tests).
+    for (tag, jobs) in [("jobs1", 1), ("jobsN", dssd_kernel::parallel::default_jobs())] {
+        bench(&mut records, f, &format!("sweep_runner_fig07_archs/{tag}"), || {
+            let points = runner::architecture_sweep(SimSpan::from_ms(MS), true);
+            let out = runner::run_sweep(&points, jobs);
+            note_events(out.iter().map(|o| o.summary.events).sum());
+            out.len()
+        });
+    }
+
+    bench(&mut records, f, "fig09_breakdown_run", || {
         synthetic(Architecture::DssdFnoc, 8, 0.0)
     });
 
-    bench(f, "fig10_dram_hit_tails", || {
+    bench(&mut records, f, "fig10_dram_hit_tails", || {
         synthetic(Architecture::DssdFnoc, 8, 1.0)
     });
 
     let profile = msr::profile("prn_0").unwrap();
-    bench(f, "fig11_trace_replay", || {
-        run_trace(perf_config(Architecture::Baseline), profile, 20.0, SimSpan::from_ms(MS))
+    bench(&mut records, f, "fig11_trace_replay", || {
+        let s = run_trace(perf_config(Architecture::Baseline), profile, 20.0, SimSpan::from_ms(MS));
+        note_events(s.events);
+        s
     });
 
-    bench(f, "fig12_noc_bandwidth_point", || {
+    bench(&mut records, f, "fig12_noc_bandwidth_point", || {
         let mut cfg = perf_config(Architecture::DssdFnoc);
         cfg.gc_continuous = true;
         cfg.noc = cfg.noc.with_link_bandwidth(2_000_000_000);
-        run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 1.0, SimSpan::from_ms(MS))
+        let s = run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 1.0, SimSpan::from_ms(MS));
+        note_events(s.events);
+        s
     });
 
     for kind in [TopologyKind::Mesh1D, TopologyKind::Ring, TopologyKind::Crossbar] {
-        bench(f, &format!("fig13_topologies/{kind:?}"), || {
+        bench(&mut records, f, &format!("fig13_topologies/{kind:?}"), || {
             let cfg = NocConfig::new(kind, 8).with_bisection_bandwidth(1_000_000_000);
             let mut rng = Rng::new(1);
             let pkts = schedule(
@@ -123,33 +162,36 @@ fn main() {
     }
 
     for policy in SuperblockPolicy::all() {
-        bench(f, &format!("fig14_endurance/{}", policy.label()), || {
+        bench(&mut records, f, &format!("fig14_endurance/{}", policy.label()), || {
             EnduranceSim::new(EnduranceConfig::test_small()).run(policy)
         });
     }
 
-    bench(f, "fig15_srt_remap_run", || {
+    bench(&mut records, f, "fig15_srt_remap_run", || {
         let mut cfg = perf_config(Architecture::DssdFnoc);
         cfg.srt_active_remaps = 256;
-        run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 0.0, SimSpan::from_ms(MS))
+        let s = run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 0.0, SimSpan::from_ms(MS));
+        note_events(s.events);
+        s
     });
 
-    bench(f, "fig16_srt_capacity_run", || {
+    bench(&mut records, f, "fig16_srt_capacity_run", || {
         let cfg = EnduranceConfig { srt_entries: 64, ..EnduranceConfig::test_small() };
         EnduranceSim::new(cfg).run(SuperblockPolicy::Recycled)
     });
 
-    bench(f, "write_cache_hot_set", || {
+    bench(&mut records, f, "write_cache_hot_set", || {
         let mut cfg = perf_config(Architecture::Baseline);
         cfg.write_cache_pages = Some(8192);
         let mut sim = SsdSim::new(cfg);
         sim.prefill();
         let wl = SyntheticWorkload::mixed(AccessPattern::Random, 8, 0.5).with_working_set(4096);
         sim.run_closed_loop(wl, SimSpan::from_ms(MS));
+        note_events(sim.report().events_delivered);
         sim.report().requests_completed
     });
 
-    bench(f, "open_loop_replay", || {
+    bench(&mut records, f, "open_loop_replay", || {
         let mut cfg = perf_config(Architecture::DssdFnoc);
         cfg.gc_continuous = true;
         let mut sim = SsdSim::new(cfg);
@@ -158,24 +200,36 @@ fn main() {
         let mut rng = Rng::new(5);
         let sched = dssd_workload::open_loop_schedule(wl, 50_000.0, SimSpan::from_ms(MS), &mut rng);
         sim.run_trace(sched, SimSpan::from_ms(MS));
+        note_events(sim.report().events_delivered);
         sim.report().requests_completed
     });
 
-    bench(f, "event_queue_push_pop_10k", || {
+    bench(&mut records, f, "event_queue_push_pop_10k", || {
         let mut q = dssd_kernel::EventQueue::new();
         for i in 0..10_000u64 {
             q.push(SimTime::from_ns(i * 37 % 5000), i);
         }
-        let mut n = 0;
+        let mut n = 0u64;
         while q.pop().is_some() {
             n += 1;
         }
+        note_events(n);
         n
     });
 
-    bench(f, "workload_generation_10k", || {
+    bench(&mut records, f, "workload_generation_10k", || {
         let mut w = SyntheticWorkload::writes(AccessPattern::Random, 8).bind(1 << 20);
         let mut rng = Rng::new(3);
         (0..10_000).map(|_| w.next_request(&mut rng).lpn).sum::<u64>()
     });
+
+    // `cargo bench` sets the bench's cwd to the package dir; anchor the
+    // output at the workspace root so every invocation writes the same
+    // `results/bench.json`.
+    let path = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .join("results/bench.json");
+    match runner::write_bench_json(&path, "cargo bench --bench figures", &records) {
+        Ok(()) => println!("\nwrote {} records to {}", records.len(), path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
 }

@@ -22,7 +22,7 @@ fn main() {
         }
         let mut t = Table::new(["ms", "io GB/s", "sysbus util (io)", "sysbus util (gc)"]);
         for &(ms, io, ui, ug) in &series {
-            if ms as u64 % 2 == 0 {
+            if (ms as u64).is_multiple_of(2) {
                 t.row([
                     format!("{ms:.0}"),
                     format!("{io:.2}"),

@@ -3,27 +3,38 @@
 //! bus utilization for I/O during GC, DRAM-hit vs flash-write.
 
 use dssd_bench::report::{banner, pct, Table};
-use dssd_bench::{perf_config, run_synthetic, PerfSummary};
+use dssd_bench::runner::{run_sweep, SweepPoint};
+use dssd_bench::perf_config;
+use dssd_kernel::parallel::default_jobs;
 use dssd_kernel::SimSpan;
 use dssd_ssd::Architecture;
-use dssd_workload::AccessPattern;
 
-fn measure(arch: Architecture, dram_hit: f64) -> PerfSummary {
+fn point(arch: Architecture, dram_hit: f64) -> SweepPoint {
     let mut cfg = perf_config(arch);
     cfg.gc_continuous = true;
-    run_synthetic(cfg, AccessPattern::Random, 8, 0.0, dram_hit, SimSpan::from_ms(30))
+    let mut p = SweepPoint::writes(
+        format!("{}/hit{dram_hit}", arch.label()),
+        cfg,
+        SimSpan::from_ms(30),
+    );
+    p.dram_hit = dram_hit;
+    p
 }
 
 fn main() {
-    banner("Fig 7(a): normalized I/O and GC performance (high-BW writes, GC active)");
-    let results: Vec<(Architecture, PerfSummary)> = Architecture::all()
-        .into_iter()
-        .map(|a| (a, measure(a, 0.0)))
-        .collect();
-    let base = results[0].1;
+    // All ten runs (five architectures × {flash-write, DRAM-hit}) are
+    // independent; fan them out and read the results back in order.
+    let archs = Architecture::all();
+    let mut points: Vec<SweepPoint> = archs.iter().map(|&a| point(a, 0.0)).collect();
+    points.extend(archs.iter().map(|&a| point(a, 1.0)));
+    let out = run_sweep(&points, default_jobs());
+    let (miss, hit) = out.split_at(archs.len());
 
+    banner("Fig 7(a): normalized I/O and GC performance (high-BW writes, GC active)");
+    let base = miss[0].summary;
     let mut t = Table::new(["config", "io GB/s", "io vs base", "gc GB/s", "gc vs base"]);
-    for (arch, s) in &results {
+    for (arch, o) in archs.iter().zip(miss) {
+        let s = o.summary;
         t.row([
             arch.label().to_string(),
             format!("{:.2}", s.io_gbps),
@@ -40,14 +51,12 @@ fn main() {
 
     banner("Fig 7(b): I/O system-bus utilization during GC");
     let mut t = Table::new(["config", "DRAM-hit io util", "flash-write io util", "gc util"]);
-    for arch in Architecture::all() {
-        let hit = measure(arch, 1.0);
-        let miss = measure(arch, 0.0);
+    for ((arch, h), m) in archs.iter().zip(hit).zip(miss) {
         t.row([
             arch.label().to_string(),
-            format!("{:.1}%", hit.sysbus_io_util.min(1.0) * 100.0),
-            format!("{:.1}%", miss.sysbus_io_util.min(1.0) * 100.0),
-            format!("{:.1}%", miss.sysbus_gc_util.min(1.0) * 100.0),
+            format!("{:.1}%", h.summary.sysbus_io_util.min(1.0) * 100.0),
+            format!("{:.1}%", m.summary.sysbus_io_util.min(1.0) * 100.0),
+            format!("{:.1}%", m.summary.sysbus_gc_util.min(1.0) * 100.0),
         ]);
     }
     t.print();

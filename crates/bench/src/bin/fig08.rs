@@ -4,40 +4,59 @@
 //! the same budget given to a dSSD_f.
 
 use dssd_bench::report::{banner, pct, Table};
-use dssd_bench::{perf_config, run_synthetic};
+use dssd_bench::runner::{run_sweep, SweepOutcome, SweepPoint};
+use dssd_bench::perf_config;
+use dssd_kernel::parallel::default_jobs;
 use dssd_kernel::SimSpan;
 use dssd_ssd::Architecture;
-use dssd_workload::AccessPattern;
 
-fn measure(arch: Architecture, factor: f64, pages: u32) -> (f64, f64) {
+const FACTORS: [f64; 5] = [1.25, 1.5, 2.0, 3.0, 4.0];
+
+fn point(arch: Architecture, factor: f64, pages: u32) -> SweepPoint {
     // Space-balance GC: sustained random writes are paced by how fast GC
     // reclaims superblocks, so bandwidth changes show up as end-to-end
     // performance exactly as in the paper's sustained-write sweeps.
     let cfg = perf_config(arch).with_onchip_factor(factor);
-    let s = run_synthetic(cfg, AccessPattern::Random, pages, 0.0, 0.0, SimSpan::from_ms(200));
-    (s.io_gbps, s.gc_gbps)
+    let mut p = SweepPoint::writes(
+        format!("{}/x{factor}/{pages}p", arch.label()),
+        cfg,
+        SimSpan::from_ms(200),
+    );
+    p.request_pages = pages;
+    p
 }
 
 fn main() {
-    for (label, pages) in [("(a) low bandwidth (4KB)", 1u32), ("(b) high bandwidth (32KB)", 8u32)] {
+    // One flat sweep covering both page classes: per class a ×1.0
+    // Baseline reference plus (BW, dSSD_f) at each factor. Points are
+    // independent, so they fan out across cores; the 200 ms runs that
+    // used to execute one after another now finish in parallel.
+    let classes = [("(a) low bandwidth (4KB)", 1u32), ("(b) high bandwidth (32KB)", 8u32)];
+    let mut points: Vec<SweepPoint> = Vec::new();
+    for (_, pages) in classes {
+        points.push(point(Architecture::Baseline, 1.0, pages));
+        for factor in FACTORS {
+            points.push(point(Architecture::ExtraBandwidth, factor, pages));
+            points.push(point(Architecture::DssdFnoc, factor, pages));
+        }
+    }
+    let out = run_sweep(&points, default_jobs());
+    let per_class = 1 + 2 * FACTORS.len();
+
+    for (ci, (label, pages)) in classes.into_iter().enumerate() {
+        let class: &[SweepOutcome] = &out[ci * per_class..(ci + 1) * per_class];
+        let base = class[0].summary;
         banner(&format!("Fig 8 {label}: perf vs on-chip bandwidth factor"));
-        let (base_io, base_gc) = measure(Architecture::Baseline, 1.0, pages);
-        let mut t = Table::new([
-            "factor",
-            "BW io",
-            "BW gc",
-            "dSSD_f io",
-            "dSSD_f gc",
-        ]);
-        for factor in [1.25, 1.5, 2.0, 3.0, 4.0] {
-            let (bw_io, bw_gc) = measure(Architecture::ExtraBandwidth, factor, pages);
-            let (f_io, f_gc) = measure(Architecture::DssdFnoc, factor, pages);
+        let mut t = Table::new(["factor", "BW io", "BW gc", "dSSD_f io", "dSSD_f gc"]);
+        for (fi, factor) in FACTORS.into_iter().enumerate() {
+            let bw = class[1 + 2 * fi].summary;
+            let fnoc = class[2 + 2 * fi].summary;
             t.row([
                 format!("x{factor}"),
-                pct(bw_io / base_io),
-                pct(bw_gc / base_gc),
-                pct(f_io / base_io),
-                pct(f_gc / base_gc),
+                pct(bw.io_gbps / base.io_gbps),
+                pct(bw.gc_gbps / base.gc_gbps),
+                pct(fnoc.io_gbps / base.io_gbps),
+                pct(fnoc.gc_gbps / base.gc_gbps),
             ]);
         }
         t.print();

@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod report;
+pub mod runner;
 
 use dssd_kernel::{SimSpan, SimTime};
 use dssd_ssd::{Architecture, RunReport, SsdConfig, SsdSim};
@@ -58,7 +59,7 @@ pub fn tlc_perf_config(arch: Architecture) -> SsdConfig {
 }
 
 /// Condensed results of one simulation run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerfSummary {
     /// Mean host I/O bandwidth, GB/s.
     pub io_gbps: f64,
@@ -76,6 +77,9 @@ pub struct PerfSummary {
     pub sysbus_io_util: f64,
     /// System-bus utilization attributed to GC.
     pub sysbus_gc_util: f64,
+    /// Kernel events delivered by the run's event loop. Divide by wall
+    /// time for the simulator's events/sec throughput.
+    pub events: u64,
 }
 
 impl PerfSummary {
@@ -92,6 +96,7 @@ impl PerfSummary {
             requests: r.requests_completed,
             sysbus_io_util: r.sysbus_io_utilization(),
             sysbus_gc_util: r.sysbus_gc_utilization(),
+            events: r.events_delivered,
         }
     }
 }
@@ -132,14 +137,17 @@ pub fn run_trace(
     PerfSummary::from_report(&mut sim)
 }
 
+/// One timeline sample: `(ms, io GB/s, sysbus io util, sysbus gc util)`.
+pub type TimelineSample = (f64, f64, f64, f64);
+
 /// Runs a closed-loop workload and returns the full [`RunReport`]-derived
-/// timeline series `(ms, io GB/s, sysbus io util, sysbus gc util)` for
-/// Fig 2-style plots, plus when GC first triggered.
+/// timeline series (see [`TimelineSample`]) for Fig 2-style plots, plus
+/// when GC first triggered.
 pub fn run_timeline(
     config: SsdConfig,
     request_pages: u32,
     duration: SimSpan,
-) -> (Vec<(f64, f64, f64, f64)>, Option<SimTime>) {
+) -> (Vec<TimelineSample>, Option<SimTime>) {
     let mut sim = SsdSim::new(config);
     sim.prefill();
     // Random addressing: on the paper's 1 TB drive a sequential stream

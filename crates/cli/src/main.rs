@@ -6,6 +6,9 @@
 //!                     [--fault-read-transient P] [--fault-read-hard P]
 //!                     [--fault-program P] [--fault-erase P] [--fault-noc P]
 //!                     [--fault-max-retries N] [--fault-retry-success P]
+//! dssd-cli sweep      [--arch all|dssd_f] [--factors 1.0,1.5,2.0] [--jobs N]
+//!                     [--pages 8] [--ms 5] [--seed N] [--gc-continuous]
+//!                     [--json FILE]
 //! dssd-cli trace      --volume prn_0 --arch baseline [--speedup 10] [--ms 40]
 //! dssd-cli trace      --csv FILE --arch dssd_f [--ms 40]
 //! dssd-cli endurance  [--policy recycled] [--superblocks 256] [--sigma 826.9]
@@ -20,6 +23,7 @@ mod args;
 use std::process::ExitCode;
 
 use args::{ArgError, Flags};
+use dssd_bench::runner::{self, run_sweep, BenchRecord, SweepPoint};
 use dssd_kernel::{Rng, SimSpan};
 use dssd_noc::traffic::{schedule, Pattern};
 use dssd_noc::{drive, Network, NocConfig, TopologyKind};
@@ -27,7 +31,7 @@ use dssd_reliability::{EnduranceConfig, EnduranceSim, SuperblockPolicy};
 use dssd_ssd::{Architecture, FaultConfig, SsdConfig, SsdSim, StageKind};
 use dssd_workload::{msr, AccessPattern, SyntheticWorkload, Trace};
 
-const USAGE: &str = "usage: dssd-cli <run|trace|endurance|noc|volumes> [--flags]
+const USAGE: &str = "usage: dssd-cli <run|sweep|trace|endurance|noc|volumes> [--flags]
 run 'dssd-cli <command> --help' is not needed: every flag has a default;
 see the crate docs (or the source header) for the full flag list.";
 
@@ -39,6 +43,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "run" => cmd_run(rest),
+        "sweep" => cmd_sweep(rest),
         "trace" => cmd_trace(rest),
         "endurance" => cmd_endurance(rest),
         "noc" => cmd_noc(rest),
@@ -184,6 +189,76 @@ fn cmd_run(rest: &[String]) -> Result<(), ArgError> {
     }
     sim.run_closed_loop(wl, SimSpan::from_ms(ms));
     print_report(&mut sim);
+    Ok(())
+}
+
+/// `sweep` — fan independent simulation points out across cores.
+///
+/// The per-point numbers are bit-identical for every `--jobs` value
+/// (each point owns its RNG and event queue), so the printed table can
+/// be diffed across `--jobs` settings; CI does exactly that. Wall-clock
+/// times are only recorded in the optional `--json` output.
+fn cmd_sweep(rest: &[String]) -> Result<(), ArgError> {
+    let flags = Flags::parse(rest, &["gc-continuous"])?;
+    let jobs = flags.get_or("jobs", 0usize)?; // 0 = all available cores
+    let ms = flags.get_or("ms", 5u64)?;
+    let pages = flags.get_or("pages", 8u32)?;
+    let factors: Vec<f64> = match flags.get("factors") {
+        None => vec![1.0],
+        Some(list) => list
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .map_err(|_| ArgError(format!("--factors: cannot parse `{t}`")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let archs: Vec<Architecture> = match flags.get("arch") {
+        None | Some("all") => Architecture::all().to_vec(),
+        Some(a) => vec![parse_arch(a)?],
+    };
+    let mut points = Vec::new();
+    for &arch in &archs {
+        for &factor in &factors {
+            if factor < 1.0 {
+                return Err(ArgError(format!("--factors: `{factor}` must be >= 1.0")));
+            }
+            let mut cfg = SsdConfig::test_tiny(arch);
+            cfg.gc_continuous = flags.switch("gc-continuous");
+            let seed = flags.get_or("seed", cfg.seed)?;
+            cfg = cfg.with_seed(seed);
+            if factor > 1.0 {
+                cfg = cfg.with_onchip_factor(factor);
+            }
+            let label = format!("{}/x{factor}", arch.label());
+            let mut p = SweepPoint::writes(label, cfg, SimSpan::from_ms(ms));
+            p.request_pages = pages;
+            points.push(p);
+        }
+    }
+    println!("sweep: {} points, {pages}-page random writes, {ms} ms each", points.len());
+    let out = run_sweep(&points, jobs);
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "point", "io GB/s", "gc GB/s", "mean us", "p99 us", "requests", "events"
+    );
+    for o in &out {
+        let s = o.summary;
+        println!(
+            "{:<16} {:>9.3} {:>9.3} {:>9.1} {:>9.1} {:>9} {:>10}",
+            o.label, s.io_gbps, s.gc_gbps, s.mean_us, s.p99_us, s.requests, s.events
+        );
+    }
+    if let Some(path) = flags.get("json") {
+        let records: Vec<BenchRecord> = out
+            .iter()
+            .map(|o| BenchRecord::from_samples(o.label.clone(), &[o.wall], o.summary.events))
+            .collect();
+        runner::write_bench_json(std::path::Path::new(path), "dssd-cli sweep", &records)
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        println!("wrote {} records to {path}", records.len());
+    }
     Ok(())
 }
 

@@ -6,9 +6,13 @@
 //! identifies that the read has been done, RE identifies that error
 //! detection/correction has been done after the read".
 
-use std::collections::HashMap;
+use dssd_kernel::{Slab, SlabKey};
 
 /// Identifier of a queued command, unique within one queue.
+///
+/// Packed [`SlabKey`] bits: the low 32 bits index the queue's slab slot
+/// and the high 32 bits carry the slot generation, so a retired id never
+/// aliases a later command that reuses the slot.
 pub type CommandId = u64;
 
 /// What a queued command does.
@@ -86,8 +90,7 @@ struct Entry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct CommandQueue {
-    entries: HashMap<CommandId, Entry>,
-    next_id: CommandId,
+    entries: Slab<Entry>,
     submitted: u64,
     retired: u64,
 }
@@ -101,28 +104,25 @@ impl CommandQueue {
 
     /// Enqueues a command and returns its id.
     pub fn submit(&mut self, kind: CommandKind) -> CommandId {
-        let id = self.next_id;
-        self.next_id += 1;
         self.submitted += 1;
         let stage = match kind {
             CommandKind::Copyback { .. } => Some(CopybackStage::Issued),
             _ => None,
         };
-        self.entries.insert(id, Entry { kind, stage });
-        id
+        self.entries.insert(Entry { kind, stage }).to_bits()
     }
 
     /// The kind of a queued command.
     #[must_use]
     pub fn kind(&self, id: CommandId) -> Option<CommandKind> {
-        self.entries.get(&id).map(|e| e.kind)
+        self.entries.get(SlabKey::from_bits(id)).map(|e| e.kind)
     }
 
     /// The copyback stage of a queued command (`None` for non-copybacks
     /// or unknown ids).
     #[must_use]
     pub fn stage(&self, id: CommandId) -> Option<CopybackStage> {
-        self.entries.get(&id).and_then(|e| e.stage)
+        self.entries.get(SlabKey::from_bits(id)).and_then(|e| e.stage)
     }
 
     /// Advances a copyback to its next stage and returns the new stage.
@@ -132,7 +132,10 @@ impl CommandQueue {
     /// Panics if `id` is not a queued copyback — stage transitions on
     /// retired or non-copyback commands are simulator bugs.
     pub fn advance(&mut self, id: CommandId) -> CopybackStage {
-        let e = self.entries.get_mut(&id).expect("advance on unknown command");
+        let e = self
+            .entries
+            .get_mut(SlabKey::from_bits(id))
+            .expect("advance on unknown command");
         let stage = e.stage.expect("advance on non-copyback command");
         let next = stage.next();
         e.stage = Some(next);
@@ -145,7 +148,9 @@ impl CommandQueue {
     ///
     /// Panics if `id` is not queued.
     pub fn retire(&mut self, id: CommandId) {
-        self.entries.remove(&id).expect("retire on unknown command");
+        self.entries
+            .remove(SlabKey::from_bits(id))
+            .expect("retire on unknown command");
         self.retired += 1;
     }
 
@@ -165,8 +170,8 @@ impl CommandQueue {
     #[must_use]
     pub fn copybacks_at_least(&self, stage: CopybackStage) -> usize {
         self.entries
-            .values()
-            .filter(|e| e.stage.is_some_and(|s| s >= stage))
+            .iter()
+            .filter(|(_, e)| e.stage.is_some_and(|s| s >= stage))
             .count()
     }
 
@@ -255,5 +260,19 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(q.submitted(), 2);
         assert_eq!(q.retired(), 0);
+    }
+
+    #[test]
+    fn retired_ids_never_alias_slot_reuse() {
+        let mut q = CommandQueue::new();
+        let a = q.submit(CommandKind::HostRead);
+        q.retire(a);
+        // The new command reuses a's slab slot but carries a fresh
+        // generation, so the retired id must not resolve to it.
+        let b = q.submit(CommandKind::HostWrite);
+        assert_ne!(a, b);
+        assert_eq!(q.kind(a), None);
+        assert_eq!(q.kind(b), Some(CommandKind::HostWrite));
+        assert_eq!(q.retired(), 1);
     }
 }

@@ -1,7 +1,7 @@
 //! Dynamic-superblock hardware tables: the recycle block table (RBT) and
 //! the superblock remapping table (SRT) of Sec 5.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
@@ -219,15 +219,20 @@ impl<K: Copy + PartialEq> RecycleBlockTable<K> {
 /// assert_eq!(srt.resolve(spare), spare);       // untouched blocks pass through
 /// assert_eq!(srt.size_bytes(), 4096);
 /// ```
+///
+/// Backed by a sorted `Vec` of `(src, dst)` pairs with binary-search
+/// lookup — the table is bounded and small (≤ a few k entries), so a
+/// dense sorted array beats a hash map on the datapath and keeps
+/// iteration order deterministic.
 #[derive(Debug, Clone)]
 pub struct SuperblockRemapTable<K = SubBlockId> {
-    map: HashMap<K, K>,
+    entries: Vec<(K, K)>,
     capacity: usize,
     lookups: u64,
     hits: u64,
 }
 
-impl<K: Copy + Eq + std::hash::Hash> SuperblockRemapTable<K> {
+impl<K: Copy + Ord> SuperblockRemapTable<K> {
     /// Creates an empty table with room for `capacity` remappings.
     ///
     /// # Panics
@@ -237,11 +242,15 @@ impl<K: Copy + Eq + std::hash::Hash> SuperblockRemapTable<K> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "SRT needs at least one entry");
         SuperblockRemapTable {
-            map: HashMap::new(),
+            entries: Vec::new(),
             capacity,
             lookups: 0,
             hits: 0,
         }
+    }
+
+    fn position(&self, src: K) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&src, |&(s, _)| s)
     }
 
     /// Inserts (or updates) the remapping `src → dst`.
@@ -253,22 +262,30 @@ impl<K: Copy + Eq + std::hash::Hash> SuperblockRemapTable<K> {
     /// rewrites the entry in place when a recycled destination itself
     /// dies and is replaced).
     pub fn insert(&mut self, src: K, dst: K) -> Result<(), TableFull> {
-        if !self.map.contains_key(&src) && self.map.len() >= self.capacity {
-            return Err(TableFull { capacity: self.capacity });
+        match self.position(src) {
+            Ok(i) => self.entries[i].1 = dst,
+            Err(i) => {
+                if self.entries.len() >= self.capacity {
+                    return Err(TableFull { capacity: self.capacity });
+                }
+                self.entries.insert(i, (src, dst));
+            }
         }
-        self.map.insert(src, dst);
         Ok(())
     }
 
     /// Removes a remapping, returning its destination if present.
     pub fn remove(&mut self, src: K) -> Option<K> {
-        self.map.remove(&src)
+        match self.position(src) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
     }
 
     /// The destination backing `src`, if remapped.
     #[must_use]
     pub fn lookup(&self, src: K) -> Option<K> {
-        self.map.get(&src).copied()
+        self.position(src).ok().map(|i| self.entries[i].1)
     }
 
     /// Translates an access: remapped sources go to their destination,
@@ -276,25 +293,25 @@ impl<K: Copy + Eq + std::hash::Hash> SuperblockRemapTable<K> {
     /// modeling the on-datapath table consultation.
     pub fn resolve(&mut self, src: K) -> K {
         self.lookups += 1;
-        match self.map.get(&src) {
-            Some(&dst) => {
+        match self.position(src) {
+            Ok(i) => {
                 self.hits += 1;
-                dst
+                self.entries[i].1
             }
-            None => src,
+            Err(_) => src,
         }
     }
 
     /// Active (valid) remapping entries — the quantity plotted in Fig 16b.
     #[must_use]
     pub fn active_entries(&self) -> usize {
-        self.map.len()
+        self.entries.len()
     }
 
     /// True if no remapping is active.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.entries.is_empty()
     }
 
     /// Entry capacity.
@@ -306,7 +323,7 @@ impl<K: Copy + Eq + std::hash::Hash> SuperblockRemapTable<K> {
     /// True if no new source can be inserted.
     #[must_use]
     pub fn is_full(&self) -> bool {
-        self.map.len() >= self.capacity
+        self.entries.len() >= self.capacity
     }
 
     /// Hardware size: 32 bits per entry of capacity.
@@ -327,9 +344,9 @@ impl<K: Copy + Eq + std::hash::Hash> SuperblockRemapTable<K> {
         self.hits
     }
 
-    /// Iterates over active `(src, dst)` remappings.
+    /// Iterates over active `(src, dst)` remappings in source order.
     pub fn iter(&self) -> impl Iterator<Item = (K, K)> + '_ {
-        self.map.iter().map(|(&s, &d)| (s, d))
+        self.entries.iter().copied()
     }
 }
 

@@ -140,6 +140,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-zero")]
     fn zero_planes_panics() {
-        FlashOp::multi_plane(FlashOpKind::Read, addr(), 0);
+        let _ = FlashOp::multi_plane(FlashOpKind::Read, addr(), 0);
     }
 }

@@ -360,7 +360,7 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_die_panics() {
         let g = FlashGeometry::tiny();
-        g.die_index(DieAddr { channel: 99, way: 0, die: 0 });
+        let _ = g.die_index(DieAddr { channel: 99, way: 0, die: 0 });
     }
 
     #[test]
@@ -369,7 +369,7 @@ mod tests {
         let g = FlashGeometry::tiny();
         let mut a = g.page_at(0);
         a.page = g.pages;
-        g.page_index(a);
+        let _ = g.page_index(a);
     }
 
     #[test]

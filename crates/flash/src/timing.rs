@@ -180,7 +180,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "inverted")]
     fn inverted_range_panics() {
-        LatencyRange::from_us(10, 5);
+        let _ = LatencyRange::from_us(10, 5);
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! A fast, deterministic hasher for hot-path maps.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3 with per-process random
+//! keys) costs tens of nanoseconds per lookup and randomizes iteration
+//! order per process. Hot simulator maps are keyed lookups on small
+//! integer keys, so they use this Fx-style multiply-rotate hash instead:
+//! a few cycles per key, and *fixed* seeding, so even an accidental
+//! iteration is at least reproducible run-to-run rather than a latent
+//! determinism hazard.
+//!
+//! Not DoS-resistant — never use it for attacker-controlled keys. Keys
+//! here are simulator-internal ids.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the golden ratio (same constant rustc's FxHash uses).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// See the [module docs](self).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// A `HashMap` with the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "a");
+        m.insert(u64::MAX, "b");
+        m.insert(0, "c");
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert_eq!(m.get(&u64::MAX), Some(&"b"));
+        assert_eq!(m.remove(&0), Some("c"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_spreads() {
+        let h = |x: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(x);
+            h.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(1), h(2));
+        // Sequential keys must not collide in the low bits the table uses.
+        let low: std::collections::BTreeSet<u64> = (0..64).map(|i| h(i) & 0xFF).collect();
+        assert!(low.len() > 32, "low-bit spread too poor: {}", low.len());
+    }
+
+    #[test]
+    fn tuple_and_byte_keys_work() {
+        let mut m: FxHashMap<(usize, usize), usize> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert((i, i * 3), i);
+        }
+        assert_eq!(m.get(&(7, 21)), Some(&7));
+        let mut h = FxHasher::default();
+        h.write(b"hello world");
+        let a = h.finish();
+        let mut h = FxHasher::default();
+        h.write(b"hello worle");
+        assert_ne!(a, h.finish());
+    }
+}

@@ -15,6 +15,12 @@
 //! * [`BandwidthServer`] — a FIFO bandwidth resource used to model the
 //!   system bus, DRAM, flash channel buses and the dedicated GC bus of the
 //!   paper's `dSSD_b` configuration.
+//! * [`Slab`] — a generational slab arena giving O(1), allocation-free,
+//!   deterministic id↔state maps for hot-path entities.
+//! * [`FxHashMap`] — a deterministic, fast-hashing map for keyed lookups
+//!   that cannot use dense ids.
+//! * [`parallel`] — a std-only scoped-thread fan-out for embarrassingly
+//!   parallel sweeps, with results in deterministic input order.
 //!
 //! # Example
 //!
@@ -33,12 +39,17 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+pub mod hash;
+pub mod parallel;
 mod rng;
 mod server;
+mod slab;
 pub mod stats;
 mod time;
 
 pub use event::EventQueue;
+pub use hash::{FxHashMap, FxHasher};
 pub use rng::Rng;
 pub use server::{BandwidthServer, ServerStats, Transfer};
+pub use slab::{Slab, SlabKey};
 pub use time::{SimSpan, SimTime};

@@ -1,0 +1,143 @@
+//! A std-only work-stealing fan-out helper for independent jobs.
+//!
+//! The paper's evaluation is thousands of *independent* simulator runs
+//! (sweep points, figure bins, ablation cells). [`map_parallel`] fans a
+//! slice of inputs across scoped worker threads and returns the outputs
+//! **in input order**, so callers that aggregate or print results see
+//! exactly the sequence a serial loop would have produced — parallelism
+//! never changes bytes, only wall-clock.
+//!
+//! Work distribution is a single shared atomic cursor: each worker
+//! claims the next unclaimed index, so fast workers automatically steal
+//! the load of slow ones without any queues or channels. With `jobs == 1`
+//! the closure runs on the calling thread in a plain loop, byte-identical
+//! to the pre-parallel code path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, or 1 if it cannot be determined.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Applies `f` to every element of `inputs` using up to `jobs` threads
+/// and returns the results in input order.
+///
+/// `jobs == 0` is treated as [`default_jobs`]. `jobs == 1` runs entirely
+/// on the calling thread. The closure must be `Sync` because multiple
+/// workers call it concurrently; each input is processed exactly once.
+///
+/// # Example
+///
+/// ```
+/// use dssd_kernel::parallel::map_parallel;
+///
+/// let squares = map_parallel(&[1u64, 2, 3, 4], 2, |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any invocation of `f` panics (the panic is propagated once
+/// all workers have stopped).
+pub fn map_parallel<I, O, F>(inputs: &[I], jobs: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let jobs = if jobs == 0 { default_jobs() } else { jobs };
+    let jobs = jobs.min(inputs.len()).max(1);
+    if jobs == 1 {
+        return inputs.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<O>> = Vec::with_capacity(inputs.len());
+    slots.resize_with(inputs.len(), || None);
+    let slots = Mutex::new(slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                // Batch completed results locally and publish under the
+                // lock in bursts, so the mutex is not on the per-item path.
+                let mut done: Vec<(usize, O)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= inputs.len() {
+                        break;
+                    }
+                    done.push((i, f(i, &inputs[i])));
+                }
+                let mut slots = slots.lock().unwrap();
+                for (i, out) in done {
+                    slots[i] = Some(out);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|slot| slot.expect("worker left a result slot empty"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = map_parallel(&inputs, 4, |i, &x| {
+            // Make later items finish earlier to exercise reordering.
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            x * 10
+        });
+        assert_eq!(out, (0..100).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_one_equals_jobs_many() {
+        let inputs: Vec<u32> = (0..50).collect();
+        let serial = map_parallel(&inputs, 1, |i, &x| (i as u32) * 1000 + x);
+        let parallel = map_parallel(&inputs, 8, |i, &x| (i as u32) * 1000 + x);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn each_input_processed_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let calls: Vec<AtomicU32> = (0..200).map(|_| AtomicU32::new(0)).collect();
+        let inputs: Vec<usize> = (0..200).collect();
+        map_parallel(&inputs, 6, |_, &i| {
+            calls[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in calls.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "input {i} call count");
+        }
+    }
+
+    #[test]
+    fn empty_input_and_zero_jobs() {
+        let out: Vec<u8> = map_parallel(&[] as &[u8], 0, |_, &x| x);
+        assert!(out.is_empty());
+        let out = map_parallel(&[7u8], 0, |_, &x| x + 1);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn more_jobs_than_inputs() {
+        let out = map_parallel(&[1, 2], 16, |_, &x| x * 2);
+        assert_eq!(out, vec![2, 4]);
+    }
+}

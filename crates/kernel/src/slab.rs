@@ -1,0 +1,336 @@
+//! A `Vec`-backed slab arena with generation-tagged keys.
+//!
+//! The simulator's hot paths used to keep their in-flight state
+//! (requests, copy jobs, packets) in `HashMap<u64, T>` tables, paying a
+//! hash + probe on every event. A [`Slab`] replaces those maps with a
+//! dense `Vec` indexed by a small integer, so lookup is one bounds check
+//! and one generation compare. Freed slots go on a LIFO free list and are
+//! reused; the generation tag in the key catches stale handles (a key
+//! that outlived its slot never aliases the slot's next tenant).
+//!
+//! Keys are allocated deterministically: the same sequence of
+//! insert/remove operations always yields the same keys, so simulations
+//! that embed keys in events replay bit-identically.
+
+use std::fmt;
+
+/// A handle to an occupied [`Slab`] slot: a dense index plus the slot's
+/// generation at insertion time.
+///
+/// Keys are `Copy` and pack into a `u64` (see [`SlabKey::to_bits`]) so
+/// they can ride inside event payloads or foreign id fields.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlabKey {
+    index: u32,
+    generation: u32,
+}
+
+impl SlabKey {
+    /// The slot index (dense, reused after removal).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// Packs the key into a `u64` (index in the low 32 bits).
+    #[must_use]
+    pub fn to_bits(self) -> u64 {
+        (u64::from(self.generation) << 32) | u64::from(self.index)
+    }
+
+    /// Reconstructs a key from its packed representation.
+    #[must_use]
+    pub fn from_bits(bits: u64) -> Self {
+        SlabKey {
+            index: bits as u32,
+            generation: (bits >> 32) as u32,
+        }
+    }
+}
+
+impl fmt::Debug for SlabKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}v{}", self.index, self.generation)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot<T> {
+    Vacant { generation: u32 },
+    Occupied { generation: u32, value: T },
+}
+
+/// A dense arena of `T` with O(1) insert, lookup and remove.
+///
+/// # Example
+///
+/// ```
+/// use dssd_kernel::Slab;
+///
+/// let mut slab = Slab::new();
+/// let a = slab.insert("alpha");
+/// let b = slab.insert("beta");
+/// assert_eq!(slab[a], "alpha");
+/// assert_eq!(slab.remove(b), Some("beta"));
+/// assert_eq!(slab.get(b), None); // stale key rejected
+/// let c = slab.insert("gamma"); // reuses b's slot, new generation
+/// assert_eq!(c.index(), b.index());
+/// assert_ne!(c, b);
+/// assert_eq!(slab.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        Slab { slots: Vec::new(), free: Vec::new(), len: 0 }
+    }
+
+    /// Creates an empty slab with room for `capacity` values before
+    /// reallocating.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Inserts `value` and returns its key. Reuses the most recently
+    /// freed slot, bumping its generation.
+    pub fn insert(&mut self, value: T) -> SlabKey {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            let Slot::Vacant { generation } = *slot else {
+                unreachable!("free list points at occupied slot");
+            };
+            *slot = Slot::Occupied { generation, value };
+            return SlabKey { index, generation };
+        }
+        let index = u32::try_from(self.slots.len()).expect("slab exceeds u32 slots");
+        self.slots.push(Slot::Occupied { generation: 0, value });
+        SlabKey { index, generation: 0 }
+    }
+
+    /// The value at `key`, or `None` if the key is stale or unknown.
+    #[must_use]
+    pub fn get(&self, key: SlabKey) -> Option<&T> {
+        match self.slots.get(key.index()) {
+            Some(Slot::Occupied { generation, value }) if *generation == key.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value at `key`.
+    pub fn get_mut(&mut self, key: SlabKey) -> Option<&mut T> {
+        match self.slots.get_mut(key.index()) {
+            Some(Slot::Occupied { generation, value }) if *generation == key.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// True if `key` refers to a live value.
+    #[must_use]
+    pub fn contains(&self, key: SlabKey) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes and returns the value at `key`, or `None` if the key is
+    /// stale or unknown. The slot's generation is bumped so outstanding
+    /// copies of `key` stop resolving.
+    pub fn remove(&mut self, key: SlabKey) -> Option<T> {
+        let slot = self.slots.get_mut(key.index())?;
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == key.generation => {
+                let next_gen = generation.wrapping_add(1);
+                let Slot::Occupied { value, .. } =
+                    std::mem::replace(slot, Slot::Vacant { generation: next_gen })
+                else {
+                    unreachable!("matched occupied slot above");
+                };
+                self.free.push(key.index);
+                self.len -= 1;
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Live values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no value is live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over live `(key, value)` pairs in slot-index order
+    /// (deterministic, unlike a hash map's iteration order).
+    pub fn iter(&self) -> impl Iterator<Item = (SlabKey, &T)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, slot)| match slot {
+            Slot::Occupied { generation, value } => Some((
+                SlabKey { index: i as u32, generation: *generation },
+                value,
+            )),
+            Slot::Vacant { .. } => None,
+        })
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> std::ops::Index<SlabKey> for Slab<T> {
+    type Output = T;
+
+    fn index(&self, key: SlabKey) -> &T {
+        self.get(key).expect("stale or unknown slab key")
+    }
+}
+
+impl<T> std::ops::IndexMut<SlabKey> for Slab<T> {
+    fn index_mut(&mut self, key: SlabKey) -> &mut T {
+        self.get_mut(key).expect("stale or unknown slab key")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert(10);
+        let b = s.insert(20);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&10));
+        assert_eq!(s[b], 20);
+        *s.get_mut(a).unwrap() = 11;
+        assert_eq!(s.remove(a), Some(11));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(a), None);
+    }
+
+    #[test]
+    fn slots_are_reused_lifo_with_new_generation() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        s.remove(a);
+        s.remove(b);
+        // LIFO free list: b's slot comes back first.
+        let c = s.insert("c");
+        assert_eq!(c.index(), b.index());
+        assert_ne!(c, b, "reused slot must carry a new generation");
+        let d = s.insert("d");
+        assert_eq!(d.index(), a.index());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn stale_keys_are_rejected_everywhere() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let fresh = s.insert(2); // same slot, new generation
+        assert_eq!(a.index(), fresh.index());
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get_mut(a), None);
+        assert!(!s.contains(a));
+        assert_eq!(s.remove(a), None, "stale remove must not evict the new tenant");
+        assert_eq!(s.get(fresh), Some(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale or unknown slab key")]
+    fn indexing_with_stale_key_panics() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let _ = s[a];
+    }
+
+    #[test]
+    fn keys_pack_into_u64() {
+        let mut s = Slab::new();
+        let a = s.insert(5);
+        s.remove(a);
+        let b = s.insert(6); // generation 1
+        let bits = b.to_bits();
+        assert_eq!(SlabKey::from_bits(bits), b);
+        assert_ne!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn iteration_is_index_ordered_and_skips_vacant() {
+        let mut s = Slab::new();
+        let a = s.insert(0);
+        let _b = s.insert(1);
+        let _c = s.insert(2);
+        s.remove(a);
+        let got: Vec<i32> = s.iter().map(|(_, &v)| v).collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn key_allocation_is_deterministic() {
+        let run = || {
+            let mut s = Slab::new();
+            let mut keys = Vec::new();
+            for i in 0..100 {
+                keys.push(s.insert(i));
+                if i % 3 == 0 {
+                    let k = keys[i / 2];
+                    s.remove(k);
+                }
+            }
+            keys.iter().map(|k| k.to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn churn_conserves_values() {
+        let mut s = Slab::new();
+        let mut live = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..10 {
+                live.push((s.insert(round * 100 + i), round * 100 + i));
+            }
+            // Free every other live entry.
+            let mut keep = Vec::new();
+            for (i, (k, v)) in live.drain(..).enumerate() {
+                if i % 2 == 0 {
+                    assert_eq!(s.remove(k), Some(v));
+                } else {
+                    keep.push((k, v));
+                }
+            }
+            live = keep;
+        }
+        assert_eq!(s.len(), live.len());
+        for (k, v) in &live {
+            assert_eq!(s.get(*k), Some(v));
+        }
+    }
+}

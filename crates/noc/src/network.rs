@@ -6,9 +6,9 @@
 //! the ring topology deadlock-free; the 1-D mesh and star are acyclic and
 //! need only one, but run the same machinery for uniformity.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use dssd_kernel::{EventQueue, SimSpan, SimTime};
+use dssd_kernel::{EventQueue, FxHashMap, SimSpan, SimTime};
 
 use crate::packet::{flit_count, flit_kind, PacketState};
 use crate::stats::NocStats;
@@ -20,39 +20,43 @@ const VCS: usize = 2;
 
 /// Internal network event. Opaque to embedders: produce them with
 /// [`Network::inject`], feed them back through [`Network::handle`].
+///
+/// Fields are deliberately narrow (`u32`/`u8` indices): these events are
+/// the bulk of a flit-level simulation's event-queue traffic, and every
+/// byte here is copied on each push/pop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NocEvent {
     /// A flit finished traversing a link and lands in an input buffer.
     FlitArrive {
         /// Receiving node.
-        node: usize,
+        node: u32,
         /// Input port at the receiving node.
-        in_port: usize,
+        in_port: u32,
         /// Virtual channel at the receiving input.
-        vc: usize,
+        vc: u8,
         /// The flit.
         flit: Flit,
     },
     /// An output link finished serializing a flit.
     OutputFree {
         /// Node owning the output.
-        node: usize,
+        node: u32,
         /// Output port index.
-        out_port: usize,
+        out_port: u32,
     },
     /// A downstream buffer slot was freed.
     Credit {
         /// Node owning the output the credit belongs to.
-        node: usize,
+        node: u32,
         /// Output port index.
-        out_port: usize,
+        out_port: u32,
         /// Virtual channel the credit replenishes.
-        vc: usize,
+        vc: u8,
     },
     /// A flit left the network through a local (ejection) port.
     Eject {
         /// Ejecting node.
-        node: usize,
+        node: u32,
         /// The flit.
         flit: Flit,
     },
@@ -80,12 +84,25 @@ impl Delivered {
 }
 
 /// The result of one [`Network::handle`] or [`Network::inject`] call.
+///
+/// Embedders on a hot path should keep one `Step` alive and use
+/// [`Network::handle_into`] / [`Network::inject_into`]: the vectors then
+/// retain their capacity across events and the per-event heap traffic
+/// disappears.
 #[derive(Debug, Default)]
 pub struct Step {
     /// Packets fully delivered by this step.
     pub delivered: Vec<Delivered>,
     /// Events the embedder must schedule.
     pub schedule: Vec<(SimTime, NocEvent)>,
+}
+
+impl Step {
+    /// Empties both lists, keeping their allocations for reuse.
+    pub fn clear(&mut self) {
+        self.delivered.clear();
+        self.schedule.clear();
+    }
 }
 
 #[derive(Debug, Clone, Default)]
@@ -99,6 +116,9 @@ struct VcBuffer {
 #[derive(Debug, Clone)]
 struct InputPort {
     vcs: Vec<VcBuffer>,
+    /// The (upstream node, upstream out_port) feeding this input, if any
+    /// (injection ports have no upstream). Fixed at build time.
+    up: Option<(usize, usize)>,
 }
 
 #[derive(Debug, Clone)]
@@ -120,6 +140,12 @@ struct OutputPort {
 struct RouterNode {
     inputs: Vec<InputPort>,
     outputs: Vec<OutputPort>,
+    /// Occupancy bitmap over arbitration slots (`in_port * VCS + vc`):
+    /// bit set ⇔ that VC buffer is non-empty. Slots ≥ 128 (only possible
+    /// on a crossbar hub with > 64 terminals) are not tracked and always
+    /// fall through to the buffer check, so this is purely a fast path —
+    /// it never changes which candidate arbitration picks.
+    occ: u128,
 }
 
 /// The fNoC: a set of routers plus per-packet bookkeeping.
@@ -131,9 +157,9 @@ pub struct Network {
     config: NocConfig,
     topology: Topology,
     nodes: Vec<RouterNode>,
-    /// Reverse map: (node, in_port) -> (upstream node, upstream out_port).
-    upstream: HashMap<(usize, usize), (usize, usize)>,
-    packets: HashMap<PacketId, PacketState>,
+    packets: FxHashMap<PacketId, PacketState>,
+    /// Serialization time of one flit on a link (constant per network).
+    flit_ser: SimSpan,
     stats: NocStats,
     in_flight: usize,
 }
@@ -151,21 +177,14 @@ impl Network {
             "link bandwidth must be non-zero (0 is the embedder's \"derive\" sentinel)"
         );
         let topology = Topology::build(config.topology, config.terminals);
-        let mut upstream = HashMap::new();
-        for n in 0..topology.nodes() {
-            for p in 0..topology.ports(n) {
-                if let PortLink::Link { peer, peer_in } = topology.output(n, p) {
-                    upstream.insert((peer, peer_in), (n, p));
-                }
-            }
-        }
-        let nodes = (0..topology.nodes())
+        let mut nodes: Vec<RouterNode> = (0..topology.nodes())
             .map(|n| {
                 let ports = topology.ports(n);
                 RouterNode {
                     inputs: (0..ports)
                         .map(|_| InputPort {
                             vcs: (0..VCS).map(|_| VcBuffer::default()).collect(),
+                            up: None,
                         })
                         .collect(),
                     outputs: (0..ports)
@@ -187,15 +206,29 @@ impl Network {
                             }
                         })
                         .collect(),
+                    occ: 0,
                 }
             })
             .collect();
+        // Wire the reverse (downstream → upstream) direction into the
+        // input ports so credit returns are an array read, not a lookup.
+        for n in 0..topology.nodes() {
+            for p in 0..topology.ports(n) {
+                if let PortLink::Link { peer, peer_in } = topology.output(n, p) {
+                    nodes[peer].inputs[peer_in].up = Some((n, p));
+                }
+            }
+        }
+        let flit_ser = SimSpan::for_transfer(
+            config.flit_bytes as u64,
+            config.link_bytes_per_sec,
+        );
         Network {
             config,
             topology,
             nodes,
-            upstream,
-            packets: HashMap::new(),
+            packets: FxHashMap::default(),
+            flit_ser,
             stats: NocStats::default(),
             in_flight: 0,
         }
@@ -303,6 +336,18 @@ impl Network {
     /// Panics if src/dst are not terminals or the packet id was already
     /// injected and is still in flight.
     pub fn inject(&mut self, now: SimTime, packet: Packet) -> Step {
+        let mut step = Step::default();
+        self.inject_into(now, packet, &mut step);
+        step
+    }
+
+    /// [`inject`](Self::inject), appending into a caller-owned [`Step`]
+    /// so hot paths can reuse its buffers. Does not clear `step`.
+    ///
+    /// # Panics
+    ///
+    /// As [`inject`](Self::inject).
+    pub fn inject_into(&mut self, now: SimTime, packet: Packet, step: &mut Step) {
         assert!(
             packet.src < self.topology.terminals(),
             "source {} is not a terminal",
@@ -330,52 +375,66 @@ impl Network {
         // Flits enter the local input port (port 0), VC 0. The injection
         // buffer is unbounded: back-pressure is applied by the network,
         // not the NI.
-        let buf = &mut self.nodes[packet.src].inputs[0].vcs[0];
+        let node_r = &mut self.nodes[packet.src];
+        let buf = &mut node_r.inputs[0].vcs[0];
         for i in 0..n {
             buf.flits.push_back(Flit {
                 packet: packet.id,
-                dst: packet.dst,
+                dst: packet.dst as u32,
                 kind: flit_kind(i, n),
             });
         }
-        let mut step = Step::default();
-        self.try_node(now, packet.src, &mut step);
-        step
+        node_r.occ |= 1; // injection slot: in_port 0, VC 0
+        self.try_node(now, packet.src, step);
     }
 
     /// Advances the network by one event.
     pub fn handle(&mut self, now: SimTime, event: NocEvent) -> Step {
         let mut step = Step::default();
+        self.handle_into(now, event, &mut step);
+        step
+    }
+
+    /// [`handle`](Self::handle), appending into a caller-owned [`Step`]
+    /// so hot paths can reuse its buffers. Does not clear `step`.
+    pub fn handle_into(&mut self, now: SimTime, event: NocEvent, step: &mut Step) {
         match event {
             NocEvent::FlitArrive { node, in_port, vc, flit } => {
-                let buf = &mut self.nodes[node].inputs[in_port].vcs[vc];
+                let (node, in_port, vc) = (node as usize, in_port as usize, vc as usize);
+                let node_r = &mut self.nodes[node];
+                let buf = &mut node_r.inputs[in_port].vcs[vc];
                 debug_assert!(
                     buf.flits.len() < self.config.input_buffer_flits,
                     "credit protocol violated: buffer overflow at {node}:{in_port}:{vc}"
                 );
                 buf.flits.push_back(flit);
-                self.try_node(now, node, &mut step);
+                let slot = in_port * VCS + vc;
+                if slot < 128 {
+                    node_r.occ |= 1 << slot;
+                }
+                self.try_node(now, node, step);
             }
             NocEvent::OutputFree { node, out_port } => {
+                let (node, out_port) = (node as usize, out_port as usize);
                 self.nodes[node].outputs[out_port].free = true;
                 // Retry every output: the flit that just finished may have
                 // uncovered a new head flit (at the front of the same
                 // input buffer) that routes to a *different* output, which
                 // would otherwise never be woken.
-                self.try_node(now, node, &mut step);
+                self.try_node(now, node, step);
             }
             NocEvent::Credit { node, out_port, vc } => {
-                let c = &mut self.nodes[node].outputs[out_port].credits[vc];
+                let c = &mut self.nodes[node as usize].outputs[out_port as usize].credits
+                    [vc as usize];
                 if *c != usize::MAX {
                     *c += 1;
                 }
-                self.try_node(now, node, &mut step);
+                self.try_node(now, node as usize, step);
             }
             NocEvent::Eject { node, flit } => {
-                self.eject(now, node, flit, &mut step);
+                self.eject(now, node as usize, flit, step);
             }
         }
-        step
     }
 
     fn eject(&mut self, now: SimTime, _node: usize, flit: Flit, step: &mut Step) {
@@ -400,7 +459,16 @@ impl Network {
 
     /// Try to make progress on every output of `node`.
     fn try_node(&mut self, now: SimTime, node: usize, step: &mut Step) {
-        for out in 0..self.nodes[node].outputs.len() {
+        let outs = {
+            let n = &self.nodes[node];
+            // Nothing buffered anywhere on this router ⇒ no output can
+            // send. (Exact only when every slot fits the occupancy bitmap.)
+            if n.occ == 0 && n.inputs.len() * VCS <= 128 {
+                return;
+            }
+            n.outputs.len()
+        };
+        for out in 0..outs {
             self.try_output(now, node, out, step);
         }
     }
@@ -434,11 +502,17 @@ impl Network {
         let slots = n_inputs * VCS;
 
         // Collect the (in_port, vc, downstream_vc) candidate, honoring
-        // round-robin order.
+        // round-robin order. Empty slots can never be chosen, so skipping
+        // them via the occupancy bitmap preserves arbitration order.
         let rr = self.nodes[node].outputs[out].rr;
+        let occ = self.nodes[node].occ;
         let mut chosen: Option<(usize, usize, usize)> = None;
         for off in 0..slots {
-            let slot = (rr + off) % slots;
+            let slot = rr + off;
+            let slot = if slot >= slots { slot - slots } else { slot };
+            if slot < 128 && occ & (1 << slot) == 0 {
+                continue;
+            }
             let (ip, vc) = (slot / VCS, slot % VCS);
             let front = match self.nodes[node].inputs[ip].vcs[vc].flits.front() {
                 Some(f) => *f,
@@ -456,7 +530,7 @@ impl Network {
                 // Head flit: needs routing + output VC allocation.
                 None => {
                     debug_assert!(front.kind.is_head(), "unallocated non-head at front");
-                    if self.topology.route(node, front.dst) != out {
+                    if self.topology.route(node, front.dst as usize) != out {
                         continue;
                     }
                     let ovc = self.next_vc(node, out, vc);
@@ -474,10 +548,14 @@ impl Network {
         let Some((ip, vc, ovc)) = chosen else { return };
 
         // Dequeue and update wormhole state.
-        let flit = self.nodes[node].inputs[ip].vcs[vc]
-            .flits
-            .pop_front()
-            .expect("candidate had empty buffer");
+        let buf = &mut self.nodes[node].inputs[ip].vcs[vc];
+        let flit = buf.flits.pop_front().expect("candidate had empty buffer");
+        if buf.flits.is_empty() {
+            let slot = ip * VCS + vc;
+            if slot < 128 {
+                self.nodes[node].occ &= !(1 << slot);
+            }
+        }
         if flit.kind.is_head() {
             self.nodes[node].outputs[out].owner[ovc] = Some((ip, vc));
             self.nodes[node].inputs[ip].vcs[vc].alloc = Some((out, ovc));
@@ -496,27 +574,24 @@ impl Network {
 
         // Return a credit upstream for the slot we just freed (injection
         // buffers have no upstream).
-        if let Some(&(up, up_out)) = self.upstream.get(&(node, ip)) {
+        if let Some((up, up_out)) = self.nodes[node].inputs[ip].up {
             step.schedule.push((
                 now + self.config.router_latency,
-                NocEvent::Credit { node: up, out_port: up_out, vc },
+                NocEvent::Credit { node: up as u32, out_port: up_out as u32, vc: vc as u8 },
             ));
         }
 
         // Serialize over the link.
-        let ser = SimSpan::for_transfer(
-            self.config.flit_bytes as u64,
-            self.config.link_bytes_per_sec,
-        );
+        let ser = self.flit_ser;
         self.nodes[node].outputs[out].free = false;
         self.nodes[node].outputs[out].busy += ser;
         step.schedule
-            .push((now + ser, NocEvent::OutputFree { node, out_port: out }));
+            .push((now + ser, NocEvent::OutputFree { node: node as u32, out_port: out as u32 }));
         self.stats.flit_hops += 1;
 
         match self.nodes[node].outputs[out].link {
             PortLink::Local => {
-                step.schedule.push((now + ser, NocEvent::Eject { node, flit }));
+                step.schedule.push((now + ser, NocEvent::Eject { node: node as u32, flit }));
             }
             PortLink::Link { peer, peer_in } => {
                 if flit.kind.is_head() {
@@ -526,7 +601,12 @@ impl Network {
                 }
                 step.schedule.push((
                     now + ser + self.config.router_latency,
-                    NocEvent::FlitArrive { node: peer, in_port: peer_in, vc: ovc, flit },
+                    NocEvent::FlitArrive {
+                        node: peer as u32,
+                        in_port: peer_in as u32,
+                        vc: ovc as u8,
+                        flit,
+                    },
                 ));
             }
         }

@@ -81,7 +81,9 @@ pub struct Flit {
     /// Owning packet.
     pub packet: PacketId,
     /// Destination node (replicated so every flit can be validated).
-    pub dst: usize,
+    /// Narrow on purpose: flits flow through the event queue by value,
+    /// so their size is hot-path memory traffic.
+    pub dst: u32,
     /// Head/body/tail position.
     pub kind: FlitKind,
 }
@@ -119,7 +121,7 @@ mod tests {
 
     #[test]
     fn flit_count_rounds_up() {
-        assert_eq!(flit_count(4096, 16, 32), (4096 + 16 + 31) / 32);
+        assert_eq!(flit_count(4096, 16, 32), (4096u32 + 16).div_ceil(32));
         assert_eq!(flit_count(0, 16, 32), 1);
         assert_eq!(flit_count(32, 0, 32), 1);
         assert_eq!(flit_count(33, 0, 32), 2);

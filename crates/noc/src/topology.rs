@@ -535,13 +535,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two")]
     fn tiny_topology_rejected() {
-        Topology::build(TopologyKind::Mesh1D, 1);
+        let _ = Topology::build(TopologyKind::Mesh1D, 1);
     }
 
     #[test]
     #[should_panic(expected = "not a terminal")]
     fn routing_to_hub_rejected() {
         let t = Topology::build(TopologyKind::Crossbar, 4);
-        t.route(0, 4);
+        let _ = t.route(0, 4);
     }
 }

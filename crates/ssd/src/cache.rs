@@ -8,7 +8,9 @@
 //! background once a high-water mark is crossed; reads that hit recent
 //! writes are served from DRAM.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use dssd_kernel::FxHashMap;
 
 /// An LRU cache of logical pages with dirty tracking.
 ///
@@ -35,7 +37,7 @@ use std::collections::{HashMap, VecDeque};
 pub struct WriteCache {
     capacity: usize,
     /// LPN -> (current stamp, dirty).
-    pages: HashMap<u64, (u64, bool)>,
+    pages: FxHashMap<u64, (u64, bool)>,
     /// Recency queue of (lpn, stamp); stale pairs are skipped lazily.
     order: VecDeque<(u64, u64)>,
     stamp: u64,
@@ -55,7 +57,7 @@ impl WriteCache {
         assert!(capacity > 0, "cache needs capacity");
         WriteCache {
             capacity,
-            pages: HashMap::new(),
+            pages: FxHashMap::default(),
             order: VecDeque::new(),
             stamp: 0,
             dirty: 0,

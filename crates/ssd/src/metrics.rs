@@ -170,6 +170,13 @@ pub struct RunReport {
     pub end_of_life: Option<SimTime>,
     /// Injected-fault and recovery-action counts.
     pub faults: FaultCounters,
+    /// Kernel events delivered by the run's event loop — divide by
+    /// wall-clock time for the simulator's events/sec throughput.
+    pub events_delivered: u64,
+    /// Rolling hash over `(time, source channel)` of every GC copy
+    /// issued: two runs produce the same digest exactly when their GC
+    /// scheduling traces are identical.
+    pub gc_issue_digest: u64,
     /// Wall-clock end of the measured window.
     pub elapsed: SimSpan,
 }
@@ -194,6 +201,8 @@ impl RunReport {
             dynamic_remaps: 0,
             end_of_life: None,
             faults: FaultCounters::default(),
+            events_delivered: 0,
+            gc_issue_digest: 0,
             elapsed: SimSpan::ZERO,
         }
     }

@@ -5,12 +5,12 @@
 //! servers from `dssd-kernel`, so each pipeline stage computes its own
 //! completion time and schedules exactly one event for the next stage.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use dssd_ctrl::{CommandId, CommandKind, CommandQueue, DecoupledController, EccVerdict};
 use dssd_flash::{DieGrid, EraseOutcome, FlashOp, FlashOpKind, PageAddr, WearModel};
 use dssd_ftl::{AllocGroup, CopyGroup, Ftl, GcRound, Lpn};
-use dssd_kernel::{BandwidthServer, EventQueue, Rng, SimSpan, SimTime};
+use dssd_kernel::{BandwidthServer, EventQueue, Rng, SimSpan, SimTime, Slab, SlabKey};
 use dssd_noc::{Network, NocEvent, Packet};
 use dssd_workload::{Op, Request, SyntheticWorkload};
 
@@ -34,8 +34,8 @@ const GC_PER_CHANNEL_INFLIGHT: usize = 16;
 /// Maximum concurrent WAS scan reads.
 const SCAN_INFLIGHT: usize = 128;
 
-type ReqId = u64;
-type JobId = u64;
+type ReqId = SlabKey;
+type JobId = SlabKey;
 
 #[derive(Debug)]
 struct ReqState {
@@ -73,7 +73,10 @@ struct GcState {
     copies_done: usize,
     copies_expected: usize,
     erases_outstanding: usize,
-    channel_inflight: HashMap<u32, usize>,
+    /// In-flight copy jobs per source channel, indexed by channel number.
+    /// A flat `Vec` (not a hash map) so scheduling never observes
+    /// iteration-order effects.
+    channel_inflight: Vec<usize>,
     /// A retirement round: on completion the victim superblock is
     /// permanently retired instead of recycled into the free pool.
     retiring: bool,
@@ -124,15 +127,15 @@ enum Ev {
     /// Open-loop trace arrival.
     Arrive(Request),
     /// Host write group reached the controller (system bus done).
-    WriteAtCtrl { leg: WriteLeg },
+    WriteAtCtrl { leg: Box<WriteLeg> },
     /// Host write group transferred over the flash bus.
-    WriteAtDie { leg: WriteLeg },
+    WriteAtDie { leg: Box<WriteLeg> },
     /// Host write group programmed.
     WriteDone { req: ReqId, pages: u32 },
     /// Host read group: die read finished.
-    ReadAtBus { leg: ReadLeg },
+    ReadAtBus { leg: Box<ReadLeg> },
     /// Host read group: flash bus transfer finished.
-    ReadAtEcc { leg: ReadLeg },
+    ReadAtEcc { leg: Box<ReadLeg> },
     /// Host read group: ECC finished.
     ReadAtSysbus { req: ReqId, pages: u32 },
     /// Host read group: system-bus crossing finished.
@@ -162,11 +165,60 @@ enum Ev {
     /// fNoC internal event.
     Noc(NocEvent),
     /// Re-injection of a packet delayed by an injected link degradation.
-    NocRetry { pkt: Packet },
+    NocRetry { pkt: Box<Packet> },
     /// WAS endurance scan pass begins.
     ScanTick,
     /// One WAS scan read completed its die+bus pipeline.
     ScanReadDone,
+}
+
+/// Dense timing-level SRT remap table: one slot per `(superblock,
+/// stripe-die)` pair, so the per-access lookup in `effective_addr` is a
+/// single indexed load instead of a hash probe. The replacement
+/// `(channel, way, die)` packs into a `u32`; `u32::MAX` marks identity.
+#[derive(Debug)]
+struct RemapTable {
+    table: Vec<u32>,
+    stripe_dies: u32,
+    len: usize,
+}
+
+const REMAP_NONE: u32 = u32::MAX;
+
+impl RemapTable {
+    fn new(blocks: u32, stripe_dies: u32) -> Self {
+        RemapTable {
+            table: vec![REMAP_NONE; blocks as usize * stripe_dies as usize],
+            stripe_dies,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts (or overwrites) the remap for `(block, die_idx)` —
+    /// overwrites do not grow `len`, matching map-insert semantics.
+    fn insert(&mut self, block: u32, die_idx: u32, ch: u32, way: u32, die: u32) {
+        let slot = &mut self.table[(block * self.stripe_dies + die_idx) as usize];
+        if *slot == REMAP_NONE {
+            self.len += 1;
+        }
+        *slot = ch | (way << 10) | (die << 20);
+    }
+
+    fn get(&self, block: u32, die_idx: u32) -> Option<(u32, u32, u32)> {
+        let packed = self.table[(block * self.stripe_dies + die_idx) as usize];
+        if packed == REMAP_NONE {
+            return None;
+        }
+        Some((packed & 0x3FF, (packed >> 10) & 0x3FF, packed >> 20))
+    }
 }
 
 /// The integrated SSD simulator.
@@ -188,21 +240,23 @@ pub struct SsdSim {
     dbuf_waiters: Vec<VecDeque<JobId>>,
     cache: Option<WriteCache>,
     flush_backlog: VecDeque<Lpn>,
-    remap: HashMap<(u32, u32), (u32, u32, u32)>,
+    remap: RemapTable,
     wear: Option<WearModel>,
     queue: EventQueue<Ev>,
-    requests: HashMap<ReqId, ReqState>,
-    jobs: HashMap<JobId, CopyJob>,
-    packet_jobs: HashMap<u64, JobId>,
+    requests: Slab<ReqState>,
+    jobs: Slab<CopyJob>,
+    /// In-flight fNoC packets: the slab key's bits are the packet id, so
+    /// delivery resolves back to its copy job without a hash probe.
+    packet_jobs: Slab<JobId>,
+    /// Reused scratch for NoC steps: the event loop handles one NoC event
+    /// at a time, so one buffer (with retained capacity) serves them all.
+    noc_step: dssd_noc::Step,
     blocked_writes: VecDeque<(ReqId, Request)>,
     /// Write groups awaiting re-allocation after a program failure.
     blocked_rewrites: VecDeque<(ReqId, Vec<Lpn>, u32)>,
     /// Superblocks holding a failed block, awaiting online retirement.
     pending_retire: VecDeque<u32>,
     injector: Option<FaultInjector>,
-    next_req: ReqId,
-    next_job: JobId,
-    next_packet: u64,
     outstanding: usize,
     workload: Option<SyntheticWorkload>,
     gc: Option<GcState>,
@@ -267,8 +321,8 @@ impl SsdSim {
         // parallelism exactly as a recycled block on the "wrong" channel
         // would. Mapping-table state is untouched (the SRT is invisible
         // to the FTL).
-        let mut remap = HashMap::new();
         let stripe_dies = geo.total_dies() as u32;
+        let mut remap = RemapTable::new(geo.blocks, stripe_dies);
         // Remaps draw from their own stream so enabling them does not
         // perturb the workload/prefill randomness of the comparison run.
         let mut remap_rng = Rng::new(config.seed ^ 0x5247_5431);
@@ -279,7 +333,7 @@ impl SsdSim {
             let t_ch = target % geo.channels;
             let t_way = (target / geo.channels) % geo.ways;
             let t_die = target / (geo.channels * geo.ways);
-            remap.insert((sb, die_idx), (t_ch, t_way, t_die));
+            remap.insert(sb, die_idx, t_ch, t_way, t_die);
         }
 
         // The decoupled controllers (C_D): command queue, integrated ECC,
@@ -355,16 +409,14 @@ impl SsdSim {
             remap,
             wear,
             queue: EventQueue::new(),
-            requests: HashMap::new(),
-            jobs: HashMap::new(),
-            packet_jobs: HashMap::new(),
+            requests: Slab::new(),
+            jobs: Slab::new(),
+            packet_jobs: Slab::new(),
+            noc_step: dssd_noc::Step::default(),
             blocked_writes: VecDeque::new(),
             blocked_rewrites: VecDeque::new(),
             pending_retire: VecDeque::new(),
             injector,
-            next_req: 0,
-            next_job: 0,
-            next_packet: 0,
             outstanding: 0,
             workload: None,
             gc: None,
@@ -496,6 +548,7 @@ impl SsdSim {
             self.now = t;
             self.handle(ev);
         }
+        self.report.events_delivered = self.queue.delivered();
     }
 
     fn handle(&mut self, ev: Ev) {
@@ -512,7 +565,7 @@ impl SsdSim {
                 self.req_span(leg.req, StageKind::FlashBus, t.done - self.now);
                 self.queue.push(t.done, Ev::WriteAtDie { leg });
             }
-            Ev::WriteAtDie { leg } => self.write_at_die(leg),
+            Ev::WriteAtDie { leg } => self.write_at_die(*leg),
             Ev::WriteDone { req, pages } | Ev::ReadDone { req, pages } => {
                 self.finish_pages(req, pages);
             }
@@ -523,7 +576,7 @@ impl SsdSim {
                 self.req_span(leg.req, StageKind::FlashBus, t.done - self.now);
                 self.queue.push(t.done, Ev::ReadAtEcc { leg });
             }
-            Ev::ReadAtEcc { leg } => self.read_at_ecc(leg),
+            Ev::ReadAtEcc { leg } => self.read_at_ecc(*leg),
             Ev::ReadAtSysbus { req, pages } => {
                 let bytes = self.page_bytes(pages);
                 let t = self.sysbus_xfer(bytes, CLASS_IO);
@@ -544,7 +597,7 @@ impl SsdSim {
                 // into the dBUF; without free slots the transfer waits
                 // (back-pressure, resumed when a slot frees).
                 if self.config.architecture == Architecture::DssdFnoc {
-                    let j = &self.jobs[&job];
+                    let j = &self.jobs[job];
                     if !j.holds_src_dbuf {
                         let n = j.pages.len();
                         if self.controllers[ch].dbuf().available() < n {
@@ -554,7 +607,7 @@ impl SsdSim {
                         for _ in 0..n {
                             assert!(self.controllers[ch].dbuf_mut().try_reserve());
                         }
-                        self.jobs.get_mut(&job).unwrap().holds_src_dbuf = true;
+                        self.jobs[job].holds_src_dbuf = true;
                     }
                 }
                 let t = self.flash_bus[ch].enqueue(self.now, bytes, CLASS_GC);
@@ -572,13 +625,13 @@ impl SsdSim {
                 self.copy_transport(job);
             }
             Ev::CopyAtDram { job } => {
-                let n = self.jobs[&job].pages.len() as u32;
+                let n = self.jobs[job].pages.len() as u32;
                 let t = self.dram_xfer_pages(n, CLASS_GC);
                 self.job_span(job, StageKind::Dram, t.1 - self.now);
                 self.queue.push(t.1, Ev::CopyFromDram { job });
             }
             Ev::CopyFromDram { job } => {
-                let n = self.jobs[&job].pages.len() as u32;
+                let n = self.jobs[job].pages.len() as u32;
                 let t = self.sysbus_xfer_pages(n, CLASS_GC);
                 self.job_span(job, StageKind::SystemBus, t.1 - self.now);
                 self.queue.push(t.1, Ev::CopyAtDstBus { job });
@@ -595,7 +648,7 @@ impl SsdSim {
                 // register: same-channel copies can free their dBUF slots
                 // here rather than waiting out the program.
                 self.release_src_dbuf(job);
-                let j = &self.jobs[&job];
+                let j = &self.jobs[job];
                 let pages = j.pages.len() as u32;
                 let dst = j.dst;
                 let die = self.effective_die_index(dst);
@@ -609,9 +662,14 @@ impl SsdSim {
             Ev::EraseDone => self.erase_done(),
             Ev::Noc(ev) => self.noc_event(ev),
             Ev::NocRetry { pkt } => {
-                let step =
-                    self.noc.as_mut().expect("NoC retry without NoC").inject(self.now, pkt);
-                self.absorb_noc(step);
+                let mut step = std::mem::take(&mut self.noc_step);
+                self.noc.as_mut().expect("NoC retry without NoC").inject_into(
+                    self.now,
+                    *pkt,
+                    &mut step,
+                );
+                self.absorb_noc(&mut step);
+                self.noc_step = step;
             }
             Ev::ScanTick => self.scan_tick(),
             Ev::ScanReadDone => {
@@ -638,20 +696,15 @@ impl SsdSim {
     }
 
     fn start_request(&mut self, r: Request) {
-        let id = self.next_req;
-        self.next_req += 1;
         self.outstanding += 1;
-        self.requests.insert(
-            id,
-            ReqState {
-                op: r.op,
-                arrived: self.now,
-                pages_left: r.pages,
-                total_pages: r.pages,
-                spans: Vec::new(),
-                failed: false,
-            },
-        );
+        let id = self.requests.insert(ReqState {
+            op: r.op,
+            arrived: self.now,
+            pages_left: r.pages,
+            total_pages: r.pages,
+            spans: Vec::new(),
+            failed: false,
+        });
         if r.dram_hit {
             let bytes = self.page_bytes(r.pages);
             let t = self.sysbus_xfer(bytes, CLASS_IO);
@@ -770,7 +823,7 @@ impl SsdSim {
                 && self
                     .gc
                     .as_ref()
-                    .is_some_and(|g| g.channel_inflight.get(&channel).copied().unwrap_or(0) > 0)
+                    .is_some_and(|g| g.channel_inflight[channel as usize] > 0)
             {
                 self.reconstruct_read(id, pages, channel);
                 continue;
@@ -786,7 +839,7 @@ impl SsdSim {
             self.queue.push(
                 done,
                 Ev::ReadAtBus {
-                    leg: ReadLeg {
+                    leg: Box::new(ReadLeg {
                         req: id,
                         pages,
                         channel,
@@ -794,7 +847,7 @@ impl SsdSim {
                         addr: raw,
                         attempt: 0,
                         hard: false,
-                    },
+                    }),
                 },
             );
         }
@@ -844,14 +897,14 @@ impl SsdSim {
 
     fn finish_pages(&mut self, req: ReqId, pages: u32) {
         let done = {
-            let state = self.requests.get_mut(&req).expect("unknown request");
+            let state = self.requests.get_mut(req).expect("unknown request");
             state.pages_left -= pages;
             state.pages_left == 0
         };
         if !done {
             return;
         }
-        let state = self.requests.remove(&req).unwrap();
+        let state = self.requests.remove(req).unwrap();
         self.outstanding -= 1;
         if state.failed {
             self.report.faults.requests_failed += 1;
@@ -913,7 +966,7 @@ impl SsdSim {
             pending,
             copies_done: 0,
             erases_outstanding: 0,
-            channel_inflight: HashMap::new(),
+            channel_inflight: vec![0; self.config.geometry.channels as usize],
             retiring,
         });
         self.pump_gc();
@@ -941,11 +994,11 @@ impl SsdSim {
             // applied later, at the flash-bus transfer into the buffer —
             // the page read itself only occupies the die's page register.)
             let gc = self.gc.as_ref().unwrap();
-            let active = gc.channel_inflight.values().filter(|&&v| v > 0).count();
+            let active = gc.channel_inflight.iter().filter(|&&v| v > 0).count();
             let mut picked = None;
             for i in 0..gc.pending.len() {
                 let ch = gc.pending[i].src_die.channel;
-                let inflight = gc.channel_inflight.get(&ch).copied().unwrap_or(0);
+                let inflight = gc.channel_inflight[ch as usize];
                 if inflight >= GC_PER_CHANNEL_INFLIGHT {
                     continue;
                 }
@@ -994,28 +1047,29 @@ impl SsdSim {
         let dst = pages[0].2;
         let src_ch = group.src_die.channel;
 
-        let id = self.next_job;
-        self.next_job += 1;
         let dst_node = self.effective_addr(dst).channel as usize;
         let src_node = self.effective_addr(src).channel as usize;
         let cmd = self.controllers[src_node]
             .queue_mut()
             .submit(CommandKind::Copyback { dst_node });
-        self.jobs.insert(
-            id,
-            CopyJob {
-                pages,
-                src,
-                dst,
-                spans: Vec::new(),
-                packets_in_flight: 0,
-                holds_src_dbuf: false,
-                cmd,
-            },
-        );
+        let id = self.jobs.insert(CopyJob {
+            pages,
+            src,
+            dst,
+            spans: Vec::new(),
+            packets_in_flight: 0,
+            holds_src_dbuf: false,
+            cmd,
+        });
         if let Some(gc) = &mut self.gc {
-            *gc.channel_inflight.entry(src_ch).or_insert(0) += 1;
+            gc.channel_inflight[src_ch as usize] += 1;
         }
+        // Fold (time, source channel) of every issued copy into a rolling
+        // digest: two runs with identical GC scheduling traces — and only
+        // those — produce the same value.
+        let sample = self.now.as_ns() ^ (u64::from(src_ch) << 48);
+        self.report.gc_issue_digest =
+            (self.report.gc_issue_digest ^ sample).wrapping_mul(0x0000_0100_0000_01B3);
 
         // Source read (multi-plane).
         let eff_src = self.effective_addr(src);
@@ -1028,7 +1082,7 @@ impl SsdSim {
     }
 
     fn copy_transport(&mut self, job: JobId) {
-        let j = &self.jobs[&job];
+        let j = &self.jobs[job];
         let src_ch = self.effective_addr(j.src).channel;
         let dst_ch = self.effective_addr(j.dst).channel;
         let same_channel = src_ch == dst_ch;
@@ -1036,7 +1090,7 @@ impl SsdSim {
             Architecture::Baseline | Architecture::ExtraBandwidth => {
                 // ctrl -> system bus -> DRAM -> system bus -> ctrl, one
                 // transaction per scattered page.
-                let n = self.jobs[&job].pages.len() as u32;
+                let n = self.jobs[job].pages.len() as u32;
                 let t = self.sysbus_xfer_pages(n, CLASS_GC);
                 self.job_span(job, StageKind::SystemBus, t.1 - self.now);
                 self.queue.push(t.1, Ev::CopyAtDram { job });
@@ -1047,7 +1101,7 @@ impl SsdSim {
                 } else {
                     // Controller-to-controller: the group was gathered in
                     // the source dBUF, so it crosses as one burst.
-                    let bytes = self.page_bytes(self.jobs[&job].pages.len() as u32);
+                    let bytes = self.page_bytes(self.jobs[job].pages.len() as u32);
                     let t = self.sysbus_xfer(bytes, CLASS_GC);
                     self.job_span(job, StageKind::SystemBus, t.1 - self.now);
                     self.queue.push(t.1, Ev::CopyAtDstBus { job });
@@ -1058,7 +1112,7 @@ impl SsdSim {
                     self.queue.push(self.now, Ev::CopyAtDstBus { job });
                 } else {
                     // One burst per gathered group over the dedicated bus.
-                    let bytes = self.page_bytes(self.jobs[&job].pages.len() as u32);
+                    let bytes = self.page_bytes(self.jobs[job].pages.len() as u32);
                     let bus = self.dedicated_bus.as_mut().expect("dSSD_b has a bus");
                     let t = bus.enqueue(self.now, bytes, CLASS_GC);
                     self.job_span(job, StageKind::Noc, t.done - self.now);
@@ -1074,24 +1128,28 @@ impl SsdSim {
                 }
                 // Packetize: one packet per page (Fig 4 step 5).
                 let page_bytes = self.config.geometry.page_bytes as u64;
-                let n = self.jobs[&job].pages.len() as u32;
-                self.jobs.get_mut(&job).unwrap().packets_in_flight = n;
+                let n = self.jobs[job].pages.len() as u32;
+                self.jobs[job].packets_in_flight = n;
                 for _ in 0..n {
-                    let pid = self.next_packet;
-                    self.next_packet += 1;
-                    self.packet_jobs.insert(pid, job);
+                    let pid = self.packet_jobs.insert(job).to_bits();
                     let pkt = Packet::new(pid, src_ch as usize, dst_ch as usize, page_bytes)
-                        .with_tag(job);
+                        .with_tag(job.to_bits());
                     if self.injector.as_mut().is_some_and(|i| i.noc_degrades()) {
                         // Injected link degradation: the packet times out
                         // and is re-injected after the configured delay.
                         self.report.faults.noc_faults += 1;
                         let at = self.now + self.config.faults.noc_degrade_latency;
-                        self.queue.push(at, Ev::NocRetry { pkt });
+                        self.queue.push(at, Ev::NocRetry { pkt: Box::new(pkt) });
                         continue;
                     }
-                    let step = self.noc.as_mut().expect("dSSD_f has a NoC").inject(self.now, pkt);
-                    self.absorb_noc(step);
+                    let mut step = std::mem::take(&mut self.noc_step);
+                    self.noc.as_mut().expect("dSSD_f has a NoC").inject_into(
+                        self.now,
+                        pkt,
+                        &mut step,
+                    );
+                    self.absorb_noc(&mut step);
+                    self.noc_step = step;
                 }
                 self.cmd_advance_to(job, dssd_ctrl::CopybackStage::InNetwork);
                 // Source dBUF slots free once the pages are handed to
@@ -1102,7 +1160,7 @@ impl SsdSim {
     }
 
     fn release_src_dbuf(&mut self, job: JobId) {
-        let j = self.jobs.get_mut(&job).unwrap();
+        let j = &mut self.jobs[job];
         if !j.holds_src_dbuf {
             return;
         }
@@ -1121,7 +1179,7 @@ impl SsdSim {
     /// space at `channel`.
     fn wake_dbuf_waiters(&mut self, channel: usize) {
         while let Some(job) = self.dbuf_waiters[channel].pop_front() {
-            let need = self.jobs[&job].pages.len();
+            let need = self.jobs[job].pages.len();
             if self.controllers[channel].dbuf().available() < need {
                 self.dbuf_waiters[channel].push_front(job);
                 break;
@@ -1131,20 +1189,24 @@ impl SsdSim {
     }
 
     fn noc_event(&mut self, ev: NocEvent) {
-        let step = self.noc.as_mut().expect("NoC event without NoC").handle(self.now, ev);
-        self.absorb_noc(step);
+        let mut step = std::mem::take(&mut self.noc_step);
+        self.noc.as_mut().expect("NoC event without NoC").handle_into(self.now, ev, &mut step);
+        self.absorb_noc(&mut step);
+        self.noc_step = step;
     }
 
-    fn absorb_noc(&mut self, step: dssd_noc::Step) {
-        for (t, e) in step.schedule {
+    /// Drains a NoC [`Step`](dssd_noc::Step) into the event queue,
+    /// leaving its buffers empty (capacity retained) for reuse.
+    fn absorb_noc(&mut self, step: &mut dssd_noc::Step) {
+        for (t, e) in step.schedule.drain(..) {
             self.queue.push(t, Ev::Noc(e));
         }
-        for d in step.delivered {
+        for d in step.delivered.drain(..) {
             let job = self
                 .packet_jobs
-                .remove(&d.packet.id)
+                .remove(SlabKey::from_bits(d.packet.id))
                 .expect("delivered packet without job");
-            let j = self.jobs.get_mut(&job).unwrap();
+            let j = &mut self.jobs[job];
             j.packets_in_flight -= 1;
             if j.packets_in_flight == 0 {
                 self.job_span(job, StageKind::Noc, d.latency());
@@ -1155,7 +1217,7 @@ impl SsdSim {
 
     fn copy_done(&mut self, job: JobId) {
         self.cmd_advance_to(job, dssd_ctrl::CopybackStage::Done);
-        let j = self.jobs.remove(&job).expect("unknown copy job");
+        let j = self.jobs.remove(job).expect("unknown copy job");
         let src_ch = self.effective_addr(j.src).channel as usize;
         self.controllers[src_ch].queue_mut().retire(j.cmd);
         let bytes = self.page_bytes(j.pages.len() as u32);
@@ -1168,8 +1230,7 @@ impl SsdSim {
         self.report.copyback_breakdown.record(&j.spans);
         if let Some(gc) = &mut self.gc {
             gc.copies_done += j.pages.len();
-            let e = gc.channel_inflight.get_mut(&j.src.channel).expect("inflight");
-            *e -= 1;
+            gc.channel_inflight[j.src.channel as usize] -= 1;
         }
         // Unblock any writes waiting for space (stale copies may already
         // have freed mapping slots? no — space frees at erase; but retry
@@ -1357,7 +1418,7 @@ impl SsdSim {
 
     /// Advances job `job`'s copyback command until it reaches `target`.
     fn cmd_advance_to(&mut self, job: JobId, target: dssd_ctrl::CopybackStage) {
-        let Some(j) = self.jobs.get(&job) else { return };
+        let Some(j) = self.jobs.get(job) else { return };
         let ch = self.effective_addr(j.src).channel as usize;
         let cmd = j.cmd;
         while self.controllers[ch]
@@ -1474,8 +1535,11 @@ impl SsdSim {
         let spare_addr = geo.block_at(spare as usize);
         let die_idx = b.channel + geo.channels * b.way + geo.channels * geo.ways * b.die;
         self.remap.insert(
-            (b.block, die_idx),
-            (spare_addr.channel, spare_addr.way, spare_addr.die),
+            b.block,
+            die_idx,
+            spare_addr.channel,
+            spare_addr.way,
+            spare_addr.die,
         );
         self.report.dynamic_remaps += 1;
         true
@@ -1521,7 +1585,7 @@ impl SsdSim {
             self.queue.push(
                 t.1,
                 Ev::WriteAtCtrl {
-                    leg: WriteLeg {
+                    leg: Box::new(WriteLeg {
                         req,
                         die,
                         pages,
@@ -1529,7 +1593,7 @@ impl SsdSim {
                         addr: g.addrs[0],
                         lpns: sub,
                         attempt,
-                    },
+                    }),
                 },
             );
         }
@@ -1556,7 +1620,7 @@ impl SsdSim {
             self.queue.push(
                 at,
                 Ev::WriteAtCtrl {
-                    leg: WriteLeg {
+                    leg: Box::new(WriteLeg {
                         req,
                         die,
                         pages: n as u32,
@@ -1564,7 +1628,7 @@ impl SsdSim {
                         addr: g.addrs[0],
                         lpns: sub,
                         attempt,
-                    },
+                    }),
                 },
             );
         }
@@ -1594,7 +1658,7 @@ impl SsdSim {
         let Some(lpns) = leg.lpns.filter(|_| !out_of_budget) else {
             // Attempts exhausted: the write completes, but the request is
             // surfaced to the host as failed.
-            if let Some(st) = self.requests.get_mut(&leg.req) {
+            if let Some(st) = self.requests.get_mut(leg.req) {
                 st.failed = true;
             }
             self.queue.push(at, Ev::WriteDone { req: leg.req, pages: leg.pages });
@@ -1706,7 +1770,7 @@ impl SsdSim {
         self.req_span(leg.req, StageKind::FlashChip, done - at);
         self.report.faults.read_retries += 1;
         self.report.faults.retry_latency += done - at;
-        self.queue.push(done, Ev::ReadAtBus { leg });
+        self.queue.push(done, Ev::ReadAtBus { leg: Box::new(leg) });
     }
 
     /// Retries exhausted: the read is uncorrectable. The failing block is
@@ -1715,7 +1779,7 @@ impl SsdSim {
     /// request completes instead of hanging.
     fn fail_read(&mut self, leg: ReadLeg, at: SimTime) {
         self.report.faults.uncorrectable_reads += 1;
-        if let Some(st) = self.requests.get_mut(&leg.req) {
+        if let Some(st) = self.requests.get_mut(leg.req) {
             st.failed = true;
         }
         self.mark_block_bad(leg.addr.block_addr());
@@ -1867,19 +1931,19 @@ impl SsdSim {
     }
 
     fn req_span(&mut self, req: ReqId, stage: StageKind, span: SimSpan) {
-        if let Some(r) = self.requests.get_mut(&req) {
+        if let Some(r) = self.requests.get_mut(req) {
             r.spans.push((stage, span));
         }
     }
 
     fn job_span(&mut self, job: JobId, stage: StageKind, span: SimSpan) {
-        if let Some(j) = self.jobs.get_mut(&job) {
+        if let Some(j) = self.jobs.get_mut(job) {
             j.spans.push((stage, span));
         }
     }
 
     fn job_src(&self, job: JobId) -> (u64, usize) {
-        let j = &self.jobs[&job];
+        let j = &self.jobs[job];
         (
             self.page_bytes(j.pages.len() as u32),
             self.effective_addr(j.src).channel as usize,
@@ -1887,7 +1951,7 @@ impl SsdSim {
     }
 
     fn job_dst(&self, job: JobId) -> (u64, usize) {
-        let j = &self.jobs[&job];
+        let j = &self.jobs[job];
         (
             self.page_bytes(j.pages.len() as u32),
             self.effective_addr(j.dst).channel as usize,
@@ -1901,8 +1965,8 @@ impl SsdSim {
         }
         let g = &self.config.geometry;
         let die_idx = addr.channel + g.channels * addr.way + g.channels * g.ways * addr.die;
-        match self.remap.get(&(addr.block, die_idx)) {
-            Some(&(ch, way, die)) => PageAddr { channel: ch, way, die, ..addr },
+        match self.remap.get(addr.block, die_idx) {
+            Some((ch, way, die)) => PageAddr { channel: ch, way, die, ..addr },
             None => addr,
         }
     }
@@ -1951,6 +2015,20 @@ mod tests {
             report.gc_bandwidth_gbps(),
             report.gc_rounds,
         )
+    }
+
+    #[test]
+    fn event_stays_small() {
+        // Every event-queue entry copies an `Ev` on push and pop, and the
+        // calendar buckets min-scan them, so the enum's size is hot-path
+        // memory traffic. Large payloads (write/read legs, retried
+        // packets) are boxed to keep it lean; this guards against a new
+        // variant silently fattening every queue operation.
+        assert!(
+            std::mem::size_of::<Ev>() <= 40,
+            "Ev grew to {} bytes; box the large payload",
+            std::mem::size_of::<Ev>()
+        );
     }
 
     #[test]

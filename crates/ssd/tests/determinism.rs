@@ -1,0 +1,141 @@
+//! Determinism gates for the allocation-free hot paths.
+//!
+//! Two layers of protection:
+//!
+//! * **Replay identity** — two simulators built from the same config must
+//!   produce identical reports *and* identical GC scheduling traces (the
+//!   `gc_issue_digest` folds the `(time, channel)` of every issued copy,
+//!   so a hash-map-iteration-order hazard anywhere in the GC scheduler
+//!   shows up as a digest mismatch).
+//! * **Golden fingerprints** — the optimized simulator must stay
+//!   bit-identical to the pre-optimization implementation. The constants
+//!   below were captured from the heap-only / hash-map simulator
+//!   immediately before the slab/calendar/flat-Vec migration.
+
+use dssd_kernel::SimSpan;
+use dssd_ssd::{Architecture, FaultConfig, SsdConfig, SsdSim};
+use dssd_workload::{AccessPattern, SyntheticWorkload};
+
+/// Compact, order-sensitive digest of one run.
+fn fingerprint(mut sim: SsdSim, reads: bool, ms: u64) -> String {
+    sim.prefill();
+    let wl = if reads {
+        SyntheticWorkload::reads(AccessPattern::Random, 4)
+    } else {
+        SyntheticWorkload::writes(AccessPattern::Random, 8)
+    };
+    sim.run_closed_loop(wl, SimSpan::from_ms(ms));
+    let p99 = sim.report_mut().latency_percentile(0.99).as_ns();
+    let r = sim.report();
+    format!(
+        "req={} gc_pages={} gc_rounds={} io_bytes={} gc_bytes={} mean_ns={} p99_ns={} first_gc={:?} remaps={} bad_sb={}",
+        r.requests_completed,
+        r.gc_pages_copied,
+        r.gc_rounds,
+        r.io_bw.total_bytes(),
+        r.gc_bw.total_bytes(),
+        r.mean_latency().as_ns(),
+        p99,
+        r.first_gc_at.map(|t| t.as_ns()),
+        r.dynamic_remaps,
+        r.bad_superblocks,
+    )
+}
+
+#[test]
+fn identical_runs_produce_identical_gc_scheduling_traces() {
+    for arch in Architecture::all() {
+        let run = || {
+            let mut cfg = SsdConfig::test_tiny(arch);
+            cfg.gc_continuous = true;
+            let mut sim = SsdSim::new(cfg);
+            sim.prefill();
+            let wl = SyntheticWorkload::writes(AccessPattern::Random, 8);
+            sim.run_closed_loop(wl, SimSpan::from_ms(5));
+            let r = sim.report();
+            (
+                r.gc_issue_digest,
+                r.events_delivered,
+                r.requests_completed,
+                r.gc_pages_copied,
+                r.io_bw.total_bytes(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "{}: replay divergence", arch.label());
+        assert_ne!(a.0, 0, "{}: GC ran, digest must be non-trivial", arch.label());
+        assert!(a.1 > 0, "{}: events_delivered must be recorded", arch.label());
+    }
+}
+
+/// Golden write-workload fingerprints (gc_continuous, 10 ms) captured
+/// from the pre-optimization simulator at the default `test_tiny` seed.
+#[test]
+fn bit_identical_to_pre_optimization_simulator_writes() {
+    let golden = [
+        ("Baseline", "req=1103 gc_pages=1964 gc_rounds=1 io_bytes=36143104 gc_bytes=8044544 mean_ns=562280 p99_ns=913824 first_gc=Some(0) remaps=0 bad_sb=0"),
+        ("BW", "req=1205 gc_pages=2302 gc_rounds=1 io_bytes=39485440 gc_bytes=9428992 mean_ns=515998 p99_ns=822043 first_gc=Some(0) remaps=0 bad_sb=0"),
+        ("dSSD", "req=1582 gc_pages=3330 gc_rounds=1 io_bytes=51838976 gc_bytes=13639680 mean_ns=398060 p99_ns=600192 first_gc=Some(0) remaps=0 bad_sb=0"),
+        ("dSSD_b", "req=1580 gc_pages=3329 gc_rounds=1 io_bytes=51773440 gc_bytes=13635584 mean_ns=397683 p99_ns=606208 first_gc=Some(0) remaps=0 bad_sb=0"),
+        ("dSSD_f", "req=1725 gc_pages=2710 gc_rounds=1 io_bytes=56524800 gc_bytes=11100160 mean_ns=363617 p99_ns=531464 first_gc=Some(0) remaps=0 bad_sb=0"),
+    ];
+    for (arch, want) in golden {
+        let arch = Architecture::all()
+            .into_iter()
+            .find(|a| a.label() == arch)
+            .expect("known architecture label");
+        let mut cfg = SsdConfig::test_tiny(arch);
+        cfg.gc_continuous = true;
+        let got = fingerprint(SsdSim::new(cfg), false, 10);
+        assert_eq!(got, want, "{}/writes drifted from the golden run", arch.label());
+    }
+}
+
+/// Golden read-workload fingerprints (5 ms) from the same capture.
+#[test]
+fn bit_identical_to_pre_optimization_simulator_reads() {
+    let golden = [
+        ("Baseline", "req=559 gc_pages=1334 gc_rounds=0 io_bytes=9158656 gc_bytes=5464064 mean_ns=542258 p99_ns=836296 first_gc=Some(0) remaps=0 bad_sb=0"),
+        ("BW", "req=624 gc_pages=1481 gc_rounds=0 io_bytes=10223616 gc_bytes=6066176 mean_ns=492613 p99_ns=767953 first_gc=Some(0) remaps=0 bad_sb=0"),
+        ("dSSD", "req=2025 gc_pages=1700 gc_rounds=1 io_bytes=33177600 gc_bytes=6963200 mean_ns=156076 p99_ns=341295 first_gc=Some(0) remaps=0 bad_sb=0"),
+        ("dSSD_b", "req=1972 gc_pages=1700 gc_rounds=1 io_bytes=32309248 gc_bytes=6963200 mean_ns=159965 p99_ns=316304 first_gc=Some(0) remaps=0 bad_sb=0"),
+        ("dSSD_f", "req=1931 gc_pages=1700 gc_rounds=1 io_bytes=31637504 gc_bytes=6963200 mean_ns=163309 p99_ns=298296 first_gc=Some(0) remaps=0 bad_sb=0"),
+    ];
+    for (arch, want) in golden {
+        let arch = Architecture::all()
+            .into_iter()
+            .find(|a| a.label() == arch)
+            .expect("known architecture label");
+        let got = fingerprint(SsdSim::new(SsdConfig::test_tiny(arch)), true, 5);
+        assert_eq!(got, want, "{}/reads drifted from the golden run", arch.label());
+    }
+}
+
+/// Fault-injection and SRT-remap paths exercise the slab churn (retries,
+/// re-allocations, retirement) and the dense remap table.
+#[test]
+fn bit_identical_fault_and_remap_paths() {
+    let mut f = FaultConfig::none();
+    f.read_transient_prob = 0.1;
+    f.read_hard_prob = 0.001;
+    f.program_fail_prob = 0.005;
+    f.erase_fail_prob = 0.02;
+    f.noc_degrade_prob = 0.02;
+    let mut cfg = SsdConfig::test_tiny(Architecture::DssdFnoc);
+    cfg.gc_continuous = true;
+    cfg.faults = f;
+    assert_eq!(
+        fingerprint(SsdSim::new(cfg), false, 10),
+        "req=1677 gc_pages=2856 gc_rounds=1 io_bytes=54951936 gc_bytes=11698176 mean_ns=373630 p99_ns=551140 first_gc=Some(0) remaps=3 bad_sb=1",
+        "dSSD_f fault-injection run drifted from the golden run"
+    );
+
+    let mut cfg = SsdConfig::test_tiny(Architecture::DssdFnoc);
+    cfg.srt_active_remaps = 256;
+    assert_eq!(
+        fingerprint(SsdSim::new(cfg), false, 10),
+        "req=1928 gc_pages=1699 gc_rounds=0 io_bytes=63176704 gc_bytes=6959104 mean_ns=325486 p99_ns=811424 first_gc=Some(0) remaps=0 bad_sb=0",
+        "dSSD_f SRT-remap run drifted from the golden run"
+    );
+}

@@ -1,0 +1,59 @@
+//! Prints a determinism fingerprint of the simulator for every
+//! architecture: a compact tuple of order-sensitive run measurements.
+//! Used to assert that performance refactors stay bit-identical.
+
+use dssd_kernel::SimSpan;
+use dssd_ssd::{Architecture, FaultConfig, SsdConfig, SsdSim};
+use dssd_workload::{AccessPattern, SyntheticWorkload};
+
+fn fingerprint(mut sim: SsdSim, reads: bool, ms: u64) -> String {
+    sim.prefill();
+    let wl = if reads {
+        SyntheticWorkload::reads(AccessPattern::Random, 4)
+    } else {
+        SyntheticWorkload::writes(AccessPattern::Random, 8)
+    };
+    sim.run_closed_loop(wl, SimSpan::from_ms(ms));
+    let p99 = sim.report_mut().latency_percentile(0.99).as_ns();
+    let r = sim.report();
+    format!(
+        "req={} gc_pages={} gc_rounds={} io_bytes={} gc_bytes={} mean_ns={} p99_ns={} first_gc={:?} remaps={} bad_sb={}",
+        r.requests_completed,
+        r.gc_pages_copied,
+        r.gc_rounds,
+        r.io_bw.total_bytes(),
+        r.gc_bw.total_bytes(),
+        r.mean_latency().as_ns(),
+        p99,
+        r.first_gc_at.map(|t| t.as_ns()),
+        r.dynamic_remaps,
+        r.bad_superblocks,
+    )
+}
+
+fn main() {
+    for arch in Architecture::all() {
+        let mut cfg = SsdConfig::test_tiny(arch);
+        cfg.gc_continuous = true;
+        println!("{}/writes: {}", arch.label(), fingerprint(SsdSim::new(cfg), false, 10));
+    }
+    for arch in Architecture::all() {
+        let cfg = SsdConfig::test_tiny(arch);
+        println!("{}/reads: {}", arch.label(), fingerprint(SsdSim::new(cfg), true, 5));
+    }
+    // Fault-injection paths exercised (retries, remaps, retirement).
+    let mut f = FaultConfig::none();
+    f.read_transient_prob = 0.1;
+    f.read_hard_prob = 0.001;
+    f.program_fail_prob = 0.005;
+    f.erase_fail_prob = 0.02;
+    f.noc_degrade_prob = 0.02;
+    let mut cfg = SsdConfig::test_tiny(Architecture::DssdFnoc);
+    cfg.gc_continuous = true;
+    cfg.faults = f;
+    println!("dssd_f/faults: {}", fingerprint(SsdSim::new(cfg), false, 10));
+    // SRT remap path.
+    let mut cfg = SsdConfig::test_tiny(Architecture::DssdFnoc);
+    cfg.srt_active_remaps = 256;
+    println!("dssd_f/remap: {}", fingerprint(SsdSim::new(cfg), false, 10));
+}

@@ -1,0 +1,19 @@
+//! Profiling driver: one fig08-style sweep point, run repeatedly.
+//! `cargo run --release --example prof_fig08 [iters]`
+
+use dssd_kernel::SimSpan;
+use dssd_ssd::{Architecture, SsdConfig, SsdSim};
+use dssd_workload::{AccessPattern, SyntheticWorkload};
+
+fn main() {
+    let iters: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    for _ in 0..iters {
+        let mut cfg = SsdConfig::test_tiny(Architecture::DssdFnoc).with_onchip_factor(2.0);
+        cfg.gc_continuous = true;
+        let mut sim = SsdSim::new(cfg);
+        sim.prefill();
+        let wl = SyntheticWorkload::mixed(AccessPattern::Random, 8, 0.0);
+        sim.run_closed_loop(wl, SimSpan::from_ms(3));
+        println!("events {}", sim.report().events_delivered);
+    }
+}
