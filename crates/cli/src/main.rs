@@ -6,17 +6,31 @@
 //!                     [--fault-read-transient P] [--fault-read-hard P]
 //!                     [--fault-program P] [--fault-erase P] [--fault-noc P]
 //!                     [--fault-max-retries N] [--fault-retry-success P]
+//!                     [--trace-out FILE] [--trace-window MS] [--trace-summary]
+//!                     [--epoch-out FILE] [--epoch-ms MS]
 //! dssd-cli sweep      [--arch all|dssd_f] [--factors 1.0,1.5,2.0] [--jobs N]
 //!                     [--pages 8] [--ms 5] [--seed N] [--gc-continuous]
 //!                     [--json FILE]
 //! dssd-cli trace      --volume prn_0 --arch baseline [--speedup 10] [--ms 40]
+//!                     [--trace-out FILE] [--trace-window MS] [--trace-summary]
+//!                     [--epoch-out FILE] [--epoch-ms MS]
 //! dssd-cli trace      --csv FILE --arch dssd_f [--ms 40]
+//! dssd-cli validate   --trace FILE
 //! dssd-cli endurance  [--policy recycled] [--superblocks 256] [--sigma 826.9]
 //!                     [--srt 1024] [--reserved 0.07]
 //! dssd-cli noc        [--topology mesh|ring|crossbar] [--terminals 8]
 //!                     [--pattern uniform|tornado|hotspot] [--load-mbps 150]
 //! dssd-cli volumes
 //! ```
+//!
+//! Telemetry flags are shared by `run` and `trace`: `--trace-out` writes a
+//! Chrome Trace JSON document (load it at <https://ui.perfetto.dev>),
+//! `--trace-window MS` caps the ring buffer to the last `MS` milliseconds,
+//! `--epoch-out` writes the epoch time-series as JSONL (`--epoch-ms` sets
+//! the sampling interval), and `--trace-summary` prints per-stage
+//! p50/p99/p99.99 tables next to the `StageKind` breakdown means. Tracing
+//! never perturbs a run — the same seed produces byte-identical stdout
+//! with and without these flags (all telemetry status goes to stderr).
 
 mod args;
 
@@ -28,10 +42,12 @@ use dssd_kernel::{Rng, SimSpan};
 use dssd_noc::traffic::{schedule, Pattern};
 use dssd_noc::{drive, Network, NocConfig, TopologyKind};
 use dssd_reliability::{EnduranceConfig, EnduranceSim, SuperblockPolicy};
-use dssd_ssd::{Architecture, FaultConfig, SsdConfig, SsdSim, StageKind};
+use dssd_ssd::{Architecture, FaultConfig, SsdConfig, SsdSim, StageKind, TraceConfig};
+use dssd_telemetry::json::validate_chrome_trace;
+use dssd_telemetry::{chrome, Class, Stage};
 use dssd_workload::{msr, AccessPattern, SyntheticWorkload, Trace};
 
-const USAGE: &str = "usage: dssd-cli <run|sweep|trace|endurance|noc|volumes> [--flags]
+const USAGE: &str = "usage: dssd-cli <run|sweep|trace|validate|endurance|noc|volumes> [--flags]
 run 'dssd-cli <command> --help' is not needed: every flag has a default;
 see the crate docs (or the source header) for the full flag list.";
 
@@ -45,6 +61,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "sweep" => cmd_sweep(rest),
         "trace" => cmd_trace(rest),
+        "validate" => cmd_validate(rest),
         "endurance" => cmd_endurance(rest),
         "noc" => cmd_noc(rest),
         "volumes" => cmd_volumes(),
@@ -162,9 +179,151 @@ fn print_report(sim: &mut SsdSim) {
     }
 }
 
+/// Parses the shared telemetry flags into a [`TraceConfig`], or `None`
+/// when no telemetry flag was given (untraced runs pay nothing).
+fn trace_config(flags: &Flags) -> Result<Option<TraceConfig>, ArgError> {
+    let wants_trace = flags.get("trace-out").is_some()
+        || flags.get("trace-window").is_some()
+        || flags.switch("trace-summary");
+    let wants_epoch = flags.get("epoch-out").is_some() || flags.get("epoch-ms").is_some();
+    if !wants_trace && !wants_epoch {
+        return Ok(None);
+    }
+    let window = flags
+        .get("trace-window")
+        .map(|_| flags.get_or("trace-window", 0u64))
+        .transpose()?
+        .map(SimSpan::from_ms);
+    if window == Some(SimSpan::ZERO) {
+        return Err(ArgError("--trace-window must be >= 1 ms".into()));
+    }
+    let epoch = if wants_epoch {
+        let ms = flags.get_or("epoch-ms", 1u64)?;
+        if ms == 0 {
+            return Err(ArgError("--epoch-ms must be >= 1".into()));
+        }
+        Some(SimSpan::from_ms(ms))
+    } else {
+        None
+    };
+    Ok(Some(TraceConfig { window, epoch }))
+}
+
+/// Writes the requested telemetry artifacts after a traced run.
+///
+/// Every status line goes to *stderr*: a traced run's stdout must stay
+/// byte-identical to an untraced same-seed run (CI diffs exactly that).
+/// Only `--trace-summary` adds stdout output, and only when asked.
+fn write_trace_outputs(sim: &mut SsdSim, flags: &Flags) -> Result<(), ArgError> {
+    if let Some(path) = flags.get("trace-out") {
+        let file = std::fs::File::create(path)
+            .map_err(|e| ArgError(format!("cannot create {path}: {e}")))?;
+        let mut w = std::io::BufWriter::new(file);
+        chrome::write_chrome_trace(sim.tracer(), &mut w)
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        eprintln!(
+            "trace: {} events to {path} ({} pruned by the window, {} unfinished) \
+             — load at ui.perfetto.dev",
+            sim.tracer().events().count(),
+            sim.tracer().events_pruned(),
+            sim.tracer().open_entities(),
+        );
+    }
+    if let Some(path) = flags.get("epoch-out") {
+        let series = sim
+            .epoch_series()
+            .ok_or_else(|| ArgError("--epoch-out requires epoch sampling".into()))?;
+        let file = std::fs::File::create(path)
+            .map_err(|e| ArgError(format!("cannot create {path}: {e}")))?;
+        let mut w = std::io::BufWriter::new(file);
+        series
+            .write_jsonl(&mut w)
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        eprintln!("trace: {} epoch samples to {path}", series.len());
+    }
+    if flags.switch("trace-summary") {
+        print_trace_summary(sim);
+    }
+    Ok(())
+}
+
+/// The `--trace-summary` report: per-class completion counts and latency
+/// tails, then a per-stage table with trace percentiles next to the
+/// simulator's own `StageKind` breakdown means for cross-checking.
+fn print_trace_summary(sim: &mut SsdSim) {
+    let Some(summary) = sim.tracer().summary() else {
+        return;
+    };
+    let r = sim.report();
+    println!();
+    println!("trace summary:");
+    for (class, label, breakdown) in [
+        (Class::Io, "host i/o", &r.io_breakdown),
+        (Class::Gc, "gc copyback", &r.copyback_breakdown),
+    ] {
+        let n = summary.count(class);
+        if n == 0 {
+            continue;
+        }
+        // Percentiles need `&mut` (lazy sort / bucket walk); summaries are
+        // log-bucketed, so the clone is a few kilobytes.
+        let mut lat = summary.latency(class).clone();
+        println!(
+            "  {label}: {n} completed, {} failed; latency p50 {} / p99 {} / p99.99 {}",
+            summary.failed(class),
+            lat.percentile(0.5),
+            lat.percentile(0.99),
+            lat.percentile(0.9999),
+        );
+        println!(
+            "    {:<11} {:>10} {:>10} {:>10} {:>10} {:>13}",
+            "stage", "p50 us", "p99 us", "p99.99 us", "mean us", "breakdown us"
+        );
+        for stage in Stage::ALL {
+            if summary.stage_total_ns(class, stage) == 0 {
+                continue;
+            }
+            let mut h = summary.stage_hist(class, stage).clone();
+            let mean_us = summary.stage_total_ns(class, stage) as f64 / 1e3 / n as f64;
+            println!(
+                "    {:<11} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>13.1}",
+                stage.label(),
+                h.percentile(0.5).as_us_f64(),
+                h.percentile(0.99).as_us_f64(),
+                h.percentile(0.9999).as_us_f64(),
+                mean_us,
+                breakdown.mean_us(StageKind::all()[stage.index()]),
+            );
+        }
+    }
+}
+
+/// `validate` — parse a Chrome Trace JSON file and check it against the
+/// Trace Event schema (the same validator the test suite uses). CI runs
+/// this on freshly exported traces.
+fn cmd_validate(rest: &[String]) -> Result<(), ArgError> {
+    let flags = Flags::parse(rest, &[])?;
+    let path = flags
+        .get("trace")
+        .ok_or_else(|| ArgError("validate needs --trace FILE".into()))?;
+    let doc = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let stats = validate_chrome_trace(&doc)
+        .map_err(|e| ArgError(format!("{path}: invalid trace: {e}")))?;
+    println!(
+        "{path}: valid ({} events: {} slices, {} async, {} instants, {} metadata)",
+        stats.events, stats.spans, stats.asyncs, stats.instants, stats.metadata
+    );
+    Ok(())
+}
+
 fn cmd_run(rest: &[String]) -> Result<(), ArgError> {
-    let flags = Flags::parse(rest, &["dram-hit", "gc-continuous", "no-prefill", "reads"])?;
+    let flags = Flags::parse(
+        rest,
+        &["dram-hit", "gc-continuous", "no-prefill", "reads", "trace-summary"],
+    )?;
     let cfg = build_config(&flags)?;
+    let tracing = trace_config(&flags)?;
     let pages = flags.get_or("pages", 8u32)?;
     let ms = flags.get_or("ms", 30u64)?;
     let qd = flags.get_or("qd", 64usize)?;
@@ -180,6 +339,9 @@ fn cmd_run(rest: &[String]) -> Result<(), ArgError> {
         pattern
     );
     let mut sim = SsdSim::new(cfg);
+    if let Some(tc) = tracing {
+        sim.enable_tracing(tc);
+    }
     if !flags.switch("no-prefill") {
         sim.prefill();
     }
@@ -189,6 +351,7 @@ fn cmd_run(rest: &[String]) -> Result<(), ArgError> {
     }
     sim.run_closed_loop(wl, SimSpan::from_ms(ms));
     print_report(&mut sim);
+    write_trace_outputs(&mut sim, &flags)?;
     Ok(())
 }
 
@@ -263,9 +426,10 @@ fn cmd_sweep(rest: &[String]) -> Result<(), ArgError> {
 }
 
 fn cmd_trace(rest: &[String]) -> Result<(), ArgError> {
-    let flags = Flags::parse(rest, &["gc-continuous"])?;
+    let flags = Flags::parse(rest, &["gc-continuous", "trace-summary"])?;
     let mut cfg = build_config(&flags)?;
     cfg.gc_continuous = true;
+    let tracing = trace_config(&flags)?;
     let ms = flags.get_or("ms", 40u64)?;
     let speedup: f64 = flags.get_or("speedup", 10.0)?;
     let trace: Trace = match (flags.get("csv"), flags.get("volume")) {
@@ -291,12 +455,16 @@ fn cmd_trace(rest: &[String]) -> Result<(), ArgError> {
     );
     let page_bytes = cfg.geometry.page_bytes;
     let mut sim = SsdSim::new(cfg);
+    if let Some(tc) = tracing {
+        sim.enable_tracing(tc);
+    }
     sim.prefill();
     let requests = trace
         .accelerate(speedup)
         .to_requests(page_bytes, sim.ftl().lpn_count());
     sim.run_trace(requests, SimSpan::from_ms(ms));
     print_report(&mut sim);
+    write_trace_outputs(&mut sim, &flags)?;
     Ok(())
 }
 

@@ -8,12 +8,58 @@
 
 use crate::{SimSpan, SimTime};
 
-/// An exact-percentile histogram of [`SimSpan`] samples.
+/// Sub-bucket resolution bits for the log-bucketed histogram mode: 128
+/// sub-buckets per octave, giving a worst-case bucket width of 1/128 of
+/// the value and a midpoint representative within 1/256 (≈0.4%) of any
+/// sample — comfortably inside the advertised ≤1% relative error.
+const LOG_SUB_BITS: u32 = 7;
+const LOG_SUB: u64 = 1 << LOG_SUB_BITS;
+
+fn log_bucket_index(v: u64) -> usize {
+    if v < LOG_SUB {
+        v as usize
+    } else {
+        let e = 63 - u64::from(v.leading_zeros());
+        let shift = (e - u64::from(LOG_SUB_BITS)) as u32;
+        let sub = (v >> shift) - LOG_SUB;
+        ((e - u64::from(LOG_SUB_BITS) + 1) * LOG_SUB + sub) as usize
+    }
+}
+
+fn log_bucket_value(i: usize) -> u64 {
+    let i = i as u64;
+    if i < LOG_SUB {
+        i
+    } else {
+        let octave = i / LOG_SUB; // >= 1
+        let sub = i % LOG_SUB;
+        let shift = (octave - 1) as u32;
+        let low = (LOG_SUB + sub) << shift;
+        low + (1u64 << shift) / 2
+    }
+}
+
+#[derive(Debug, Clone)]
+enum HistogramRepr {
+    /// Raw samples, sorted lazily: exact percentiles, O(n) memory.
+    Exact { samples: Vec<u64>, sorted: bool },
+    /// HDR-style log-bucketed counts: ≤1% relative error, O(1) memory
+    /// (at most ~7.5k buckets across the full `u64` range).
+    Log { buckets: Vec<u64> },
+}
+
+/// A histogram of [`SimSpan`] samples with exact and log-bucketed modes.
 ///
-/// Samples are stored raw (nanoseconds) and sorted lazily, so percentiles
-/// are exact rather than bucketed — important for the paper's 99th- and
-/// 99.99th-percentile tail-latency comparisons where bucketing error would
-/// distort multi-10× ratios.
+/// The default ([`Histogram::new`]) stores samples raw (nanoseconds) and
+/// sorts lazily, so percentiles are exact rather than bucketed — important
+/// for the paper's 99th- and 99.99th-percentile tail-latency comparisons
+/// where bucketing error would distort multi-10× ratios.
+///
+/// The opt-in log-bucketed mode ([`Histogram::log_bucketed`]) keeps
+/// HDR-style per-octave counts instead (128 sub-buckets per power of two),
+/// bounding memory at a few kilobytes regardless of run length while
+/// keeping percentiles within 1% relative error. `mean`, `min`, `max`,
+/// `count` and `sum` stay exact in both modes.
 ///
 /// # Example
 ///
@@ -28,83 +74,228 @@ use crate::{SimSpan, SimTime};
 /// assert_eq!(h.percentile(0.99), SimSpan::from_us(99));
 /// assert_eq!(h.max(), SimSpan::from_us(100));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
-    samples: Vec<u64>,
-    sorted: bool,
+    repr: HistogramRepr,
+    count: u64,
     sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
 }
 
 impl Histogram {
-    /// Creates an empty histogram.
+    /// Creates an empty exact-percentile histogram.
     #[must_use]
     pub fn new() -> Self {
-        Histogram::default()
+        Histogram {
+            repr: HistogramRepr::Exact {
+                samples: Vec::new(),
+                sorted: true,
+            },
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Creates an empty log-bucketed histogram: bounded memory, ≤1%
+    /// relative percentile error. Intended for long runs (telemetry
+    /// summaries, endurance sweeps) where storing every sample would grow
+    /// without bound.
+    #[must_use]
+    pub fn log_bucketed() -> Self {
+        Histogram {
+            repr: HistogramRepr::Log {
+                buckets: Vec::new(),
+            },
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Whether this histogram uses the bounded log-bucketed representation.
+    #[must_use]
+    pub fn is_log_bucketed(&self) -> bool {
+        matches!(self.repr, HistogramRepr::Log { .. })
     }
 
     /// Records one sample.
     pub fn record(&mut self, sample: SimSpan) {
-        self.samples.push(sample.as_ns());
-        self.sum += sample.as_ns() as u128;
-        self.sorted = false;
+        let v = sample.as_ns();
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        match &mut self.repr {
+            HistogramRepr::Exact { samples, sorted } => {
+                samples.push(v);
+                *sorted = false;
+            }
+            HistogramRepr::Log { buckets } => {
+                let i = log_bucket_index(v);
+                if buckets.len() <= i {
+                    buckets.resize(i + 1, 0);
+                }
+                buckets[i] += 1;
+            }
+        }
     }
 
     /// Number of samples recorded.
     #[must_use]
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.count as usize
     }
 
     /// True if no samples have been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.count == 0
     }
 
-    /// Mean of all samples ([`SimSpan::ZERO`] when empty).
+    /// Mean of all samples ([`SimSpan::ZERO`] when empty). Exact in both
+    /// modes (the sum is tracked outside the buckets).
     #[must_use]
     pub fn mean(&self) -> SimSpan {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return SimSpan::ZERO;
         }
-        SimSpan::from_ns((self.sum / self.samples.len() as u128) as u64)
+        SimSpan::from_ns((self.sum / u128::from(self.count)) as u64)
     }
 
-    /// The exact `p`-quantile (`p` in `[0, 1]`), using the nearest-rank
-    /// method. Returns [`SimSpan::ZERO`] when empty.
+    /// The `p`-quantile (`p` in `[0, 1]`), using the nearest-rank method.
+    /// Returns [`SimSpan::ZERO`] when empty. Exact in the default mode;
+    /// within 1% relative error in log-bucketed mode (and always clamped
+    /// to the exact observed `[min, max]`).
     pub fn percentile(&mut self, p: f64) -> SimSpan {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return SimSpan::ZERO;
         }
-        self.ensure_sorted();
         let p = p.clamp(0.0, 1.0);
-        let rank = ((p * self.samples.len() as f64).ceil() as usize).max(1);
-        SimSpan::from_ns(self.samples[rank - 1])
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        match &mut self.repr {
+            HistogramRepr::Exact { samples, sorted } => {
+                if !*sorted {
+                    samples.sort_unstable();
+                    *sorted = true;
+                }
+                SimSpan::from_ns(samples[(rank - 1) as usize])
+            }
+            HistogramRepr::Log { buckets } => {
+                let mut seen = 0u64;
+                for (i, &c) in buckets.iter().enumerate() {
+                    seen += c;
+                    if seen >= rank {
+                        return SimSpan::from_ns(
+                            log_bucket_value(i).clamp(self.min, self.max),
+                        );
+                    }
+                }
+                SimSpan::from_ns(self.max)
+            }
+        }
     }
 
-    /// Largest sample ([`SimSpan::ZERO`] when empty).
+    /// Largest sample, exact in both modes ([`SimSpan::ZERO`] when empty).
     #[must_use]
     pub fn max(&self) -> SimSpan {
-        SimSpan::from_ns(self.samples.iter().copied().max().unwrap_or(0))
+        if self.count == 0 {
+            return SimSpan::ZERO;
+        }
+        SimSpan::from_ns(self.max)
     }
 
-    /// Smallest sample ([`SimSpan::ZERO`] when empty).
+    /// Smallest sample, exact in both modes ([`SimSpan::ZERO`] when empty).
     #[must_use]
     pub fn min(&self) -> SimSpan {
-        SimSpan::from_ns(self.samples.iter().copied().min().unwrap_or(0))
+        if self.count == 0 {
+            return SimSpan::ZERO;
+        }
+        SimSpan::from_ns(self.min)
     }
 
-    /// Merges another histogram's samples into this one.
+    /// Merges another histogram into this one, so `map_parallel` sweep
+    /// shards can combine their statistics without re-running.
+    ///
+    /// Mode is contagious toward the bounded representation: merging any
+    /// log-bucketed histogram (either side) converts the result to
+    /// log-bucketed; exact-into-exact stays exact.
     pub fn merge(&mut self, other: &Histogram) {
-        self.samples.extend_from_slice(&other.samples);
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
         self.sum += other.sum;
-        self.sorted = false;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if other.is_log_bucketed() && !self.is_log_bucketed() {
+            self.convert_to_log();
+        }
+        match (&mut self.repr, &other.repr) {
+            (
+                HistogramRepr::Exact { samples, sorted },
+                HistogramRepr::Exact {
+                    samples: other_samples,
+                    ..
+                },
+            ) => {
+                samples.extend_from_slice(other_samples);
+                *sorted = false;
+            }
+            (
+                HistogramRepr::Log { buckets },
+                HistogramRepr::Log {
+                    buckets: other_buckets,
+                },
+            ) => {
+                if buckets.len() < other_buckets.len() {
+                    buckets.resize(other_buckets.len(), 0);
+                }
+                for (b, o) in buckets.iter_mut().zip(other_buckets) {
+                    *b += o;
+                }
+            }
+            (
+                HistogramRepr::Log { buckets },
+                HistogramRepr::Exact {
+                    samples: other_samples,
+                    ..
+                },
+            ) => {
+                for &v in other_samples {
+                    let i = log_bucket_index(v);
+                    if buckets.len() <= i {
+                        buckets.resize(i + 1, 0);
+                    }
+                    buckets[i] += 1;
+                }
+            }
+            (HistogramRepr::Exact { .. }, HistogramRepr::Log { .. }) => {
+                unreachable!("self was converted to log above")
+            }
+        }
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
+    fn convert_to_log(&mut self) {
+        if let HistogramRepr::Exact { samples, .. } = &self.repr {
+            let mut buckets: Vec<u64> = Vec::new();
+            for &v in samples {
+                let i = log_bucket_index(v);
+                if buckets.len() <= i {
+                    buckets.resize(i + 1, 0);
+                }
+                buckets[i] += 1;
+            }
+            self.repr = HistogramRepr::Log { buckets };
         }
     }
 }
@@ -191,6 +382,26 @@ impl BandwidthMeter {
             return 0.0;
         }
         self.total as f64 / elapsed.as_secs_f64()
+    }
+
+    /// Merges another meter's bins into this one (for combining
+    /// `map_parallel` sweep shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two meters have different bin widths.
+    pub fn merge(&mut self, other: &BandwidthMeter) {
+        assert_eq!(
+            self.window, other.window,
+            "cannot merge BandwidthMeters with different bin widths"
+        );
+        if self.bins.len() < other.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.total += other.total;
     }
 }
 
@@ -282,6 +493,26 @@ impl UtilizationMeter {
         }
         self.total_busy.as_ns() as f64 / elapsed.as_ns() as f64
     }
+
+    /// Merges another meter's busy-time bins into this one (for combining
+    /// `map_parallel` sweep shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two meters have different bin widths.
+    pub fn merge(&mut self, other: &UtilizationMeter) {
+        assert_eq!(
+            self.window, other.window,
+            "cannot merge UtilizationMeters with different bin widths"
+        );
+        if self.bins.len() < other.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.total_busy += other.total_busy;
+    }
 }
 
 /// A numerically simple online mean/min/max accumulator for `f64` series.
@@ -339,6 +570,21 @@ impl OnlineMean {
     #[must_use]
     pub fn max(&self) -> f64 {
         self.max
+    }
+
+    /// Merges another accumulator's observations into this one.
+    pub fn merge(&mut self, other: &OnlineMean) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -449,5 +695,219 @@ mod tests {
         assert!((m.mean() - 3.0).abs() < 1e-12);
         assert_eq!(m.min(), -1.0);
         assert_eq!(m.max(), 7.0);
+    }
+
+    #[test]
+    fn histogram_zero_length_spans() {
+        let mut h = Histogram::new();
+        h.record(SimSpan::ZERO);
+        h.record(SimSpan::ZERO);
+        h.record(SimSpan::from_us(4));
+        assert_eq!(h.min(), SimSpan::ZERO);
+        assert_eq!(h.percentile(0.5), SimSpan::ZERO);
+        assert_eq!(h.percentile(1.0), SimSpan::from_us(4));
+        assert_eq!(h.mean(), SimSpan::from_ns(4_000 / 3));
+    }
+
+    #[test]
+    fn histogram_single_sample_percentiles() {
+        for make in [Histogram::new, Histogram::log_bucketed] {
+            let mut h = make();
+            h.record(SimSpan::from_us(7));
+            for p in [0.0, 0.5, 0.99, 0.9999, 1.0] {
+                assert_eq!(h.percentile(p), SimSpan::from_us(7), "p={p}");
+            }
+            assert_eq!(h.min(), SimSpan::from_us(7));
+            assert_eq!(h.max(), SimSpan::from_us(7));
+            assert_eq!(h.mean(), SimSpan::from_us(7));
+        }
+    }
+
+    #[test]
+    fn log_bucket_roundtrip_error_is_bounded() {
+        // Every representative value must be within 1% of every sample
+        // mapped into its bucket, across the full dynamic range.
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for s in [v, v + v / 3, v.saturating_mul(2) - 1] {
+                let rep = log_bucket_value(log_bucket_index(s));
+                let err = (rep as f64 - s as f64).abs() / s as f64;
+                assert!(err <= 0.01, "sample {s}: rep {rep}, err {err}");
+            }
+            v = v.saturating_mul(2);
+        }
+        // Small values are exact.
+        for s in 0..LOG_SUB {
+            assert_eq!(log_bucket_value(log_bucket_index(s)), s);
+        }
+    }
+
+    #[test]
+    fn log_bucketed_percentiles_within_one_percent_of_exact() {
+        let mut exact = Histogram::new();
+        let mut log = Histogram::log_bucketed();
+        // A skewed distribution spanning several decades.
+        let mut x = 17u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let ns = 100 + (x >> 40) * (x >> 62).max(1);
+            exact.record(SimSpan::from_ns(ns));
+            log.record(SimSpan::from_ns(ns));
+        }
+        assert_eq!(exact.count(), log.count());
+        assert_eq!(exact.mean(), log.mean());
+        assert_eq!(exact.min(), log.min());
+        assert_eq!(exact.max(), log.max());
+        for p in [0.5, 0.9, 0.99, 0.9999] {
+            let e = exact.percentile(p).as_ns() as f64;
+            let l = log.percentile(p).as_ns() as f64;
+            assert!((l - e).abs() / e <= 0.01, "p={p}: exact {e}, log {l}");
+        }
+    }
+
+    #[test]
+    fn merged_shards_equal_single_run() {
+        // Satellite requirement: exact-vs-merged equivalence. Record one
+        // stream into a single histogram, and the same stream split into
+        // shards that are merged — all derived stats must agree.
+        let samples: Vec<u64> = (0..1000).map(|i| (i * 37) % 4093 + 1).collect();
+        let mut whole = Histogram::new();
+        let mut shards = vec![Histogram::new(), Histogram::new(), Histogram::new()];
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(SimSpan::from_ns(s));
+            shards[i % 3].record(SimSpan::from_ns(s));
+        }
+        let mut merged = Histogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.mean(), whole.mean());
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.percentile(p), whole.percentile(p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn merge_mixes_exact_and_log_modes() {
+        let mut exact = Histogram::new();
+        let mut log = Histogram::log_bucketed();
+        for us in 1..=100 {
+            exact.record(SimSpan::from_us(us));
+            log.record(SimSpan::from_us(100 + us));
+        }
+        // log into exact: result becomes log-bucketed.
+        let mut a = exact.clone();
+        a.merge(&log);
+        assert!(a.is_log_bucketed());
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.min(), SimSpan::from_us(1));
+        assert_eq!(a.max(), SimSpan::from_us(200));
+        // exact into log: stays log-bucketed, same totals.
+        let mut b = log.clone();
+        b.merge(&exact);
+        assert_eq!(b.count(), 200);
+        assert_eq!(b.mean(), a.mean());
+        let p50a = a.percentile(0.5).as_ns() as f64;
+        let p50b = b.percentile(0.5).as_ns() as f64;
+        assert!((p50a - p50b).abs() / p50a <= 0.01);
+    }
+
+    #[test]
+    fn merge_with_empty_histograms() {
+        let mut a = Histogram::new();
+        let b = Histogram::new();
+        a.merge(&b);
+        assert!(a.is_empty());
+        a.record(SimSpan::from_us(5));
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.percentile(0.5), SimSpan::from_us(5));
+    }
+
+    #[test]
+    fn bandwidth_meter_bin_boundary_samples() {
+        let mut m = BandwidthMeter::new(SimSpan::from_us(10));
+        // A sample exactly on a bin boundary belongs to the later bin.
+        m.record(SimTime::from_us(10), 100);
+        m.record(SimTime::from_ns(9_999), 50);
+        m.record(SimTime::ZERO, 25);
+        let s = m.series();
+        assert_eq!(s.len(), 2);
+        let w = SimSpan::from_us(10).as_secs_f64();
+        assert!((s[0].1 - 75.0 / w).abs() < 1e-6);
+        assert!((s[1].1 - 100.0 / w).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bandwidth_meter_merge_requires_same_window() {
+        let mut a = BandwidthMeter::new(SimSpan::from_ms(1));
+        let mut b = BandwidthMeter::new(SimSpan::from_ms(1));
+        a.record(SimTime::from_us(100), 10);
+        b.record(SimTime::from_us(2_500), 30);
+        a.merge(&b);
+        assert_eq!(a.total_bytes(), 40);
+        assert_eq!(a.series().len(), 3);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.merge(&BandwidthMeter::new(SimSpan::from_ms(2)));
+        }));
+        assert!(r.is_err(), "mismatched windows must panic");
+    }
+
+    #[test]
+    fn utilization_meter_overlapping_busy_intervals() {
+        // Two overlapping busy intervals double-count, as documented: the
+        // meter integrates busy time, it does not deduplicate sources.
+        let mut m = UtilizationMeter::new(SimSpan::from_us(10));
+        m.record_busy(SimTime::from_us(0), SimTime::from_us(10));
+        m.record_busy(SimTime::from_us(5), SimTime::from_us(15));
+        assert_eq!(m.total_busy(), SimSpan::from_us(20));
+        let s = m.series();
+        assert!((s[0].1 - 1.5).abs() < 1e-12);
+        assert!((s[1].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_meter_merge_combines_bins() {
+        let mut a = UtilizationMeter::new(SimSpan::from_us(10));
+        let mut b = UtilizationMeter::new(SimSpan::from_us(10));
+        a.record_busy(SimTime::from_us(0), SimTime::from_us(5));
+        b.record_busy(SimTime::from_us(15), SimTime::from_us(20));
+        a.merge(&b);
+        assert_eq!(a.total_busy(), SimSpan::from_us(10));
+        let s = a.series();
+        assert_eq!(s.len(), 2);
+        assert!((s[0].1 - 0.5).abs() < 1e-12);
+        assert!((s[1].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_mean_merge() {
+        let mut a = OnlineMean::new();
+        let mut b = OnlineMean::new();
+        for x in [1.0, 2.0] {
+            a.record(x);
+        }
+        for x in [3.0, 10.0] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert!((a.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 10.0);
+        // Merging into an empty accumulator copies the other side.
+        let mut empty = OnlineMean::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 4);
+        assert_eq!(empty.max(), 10.0);
+        // Merging an empty accumulator is a no-op.
+        a.merge(&OnlineMean::new());
+        assert_eq!(a.count(), 4);
     }
 }

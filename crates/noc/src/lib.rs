@@ -44,7 +44,7 @@ mod stats;
 mod topology;
 pub mod traffic;
 
-pub use network::{drive, Delivered, Network, NocEvent, Step};
+pub use network::{drive, Delivered, HopRecord, Network, NocEvent, Step};
 pub use packet::{Flit, FlitKind, Packet, PacketId};
 pub use stats::NocStats;
 pub use topology::{NocConfig, Topology, TopologyKind};

@@ -83,6 +83,22 @@ impl Delivered {
     }
 }
 
+/// A head flit crossing an inter-router link, reported only when
+/// [`Network::set_record_hops`] is on (the telemetry tracer drains these
+/// into per-router timeline spans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopRecord {
+    /// The packet whose head flit crossed.
+    pub packet: PacketId,
+    /// The router driving the link.
+    pub node: u32,
+    /// When the head flit started serializing.
+    pub at: SimTime,
+    /// The packet's total serialization occupancy of the link (all its
+    /// flits back to back; stalls extend the real occupancy beyond this).
+    pub link_busy: SimSpan,
+}
+
 /// The result of one [`Network::handle`] or [`Network::inject`] call.
 ///
 /// Embedders on a hot path should keep one `Step` alive and use
@@ -95,13 +111,16 @@ pub struct Step {
     pub delivered: Vec<Delivered>,
     /// Events the embedder must schedule.
     pub schedule: Vec<(SimTime, NocEvent)>,
+    /// Link crossings (only populated when hop recording is enabled).
+    pub hops: Vec<HopRecord>,
 }
 
 impl Step {
-    /// Empties both lists, keeping their allocations for reuse.
+    /// Empties all lists, keeping their allocations for reuse.
     pub fn clear(&mut self) {
         self.delivered.clear();
         self.schedule.clear();
+        self.hops.clear();
     }
 }
 
@@ -162,6 +181,9 @@ pub struct Network {
     flit_ser: SimSpan,
     stats: NocStats,
     in_flight: usize,
+    /// Emit [`HopRecord`]s into [`Step::hops`] (telemetry only; purely
+    /// observational, never affects routing or timing).
+    record_hops: bool,
 }
 
 impl Network {
@@ -231,7 +253,15 @@ impl Network {
             flit_ser,
             stats: NocStats::default(),
             in_flight: 0,
+            record_hops: false,
         }
+    }
+
+    /// Enable or disable [`HopRecord`] emission into [`Step::hops`].
+    /// Recording is observational only — it cannot change routing,
+    /// arbitration or timing.
+    pub fn set_record_hops(&mut self, on: bool) {
+        self.record_hops = on;
     }
 
     /// The network configuration.
@@ -524,6 +554,8 @@ impl Network {
                 Some((o, ovc)) if o == out => {
                     if self.credit_ok(node, out, ovc) {
                         chosen = Some((ip, vc, ovc));
+                    } else {
+                        self.stats.credit_stalls += 1;
                     }
                 }
                 Some(_) => {}
@@ -535,8 +567,12 @@ impl Network {
                     }
                     let ovc = self.next_vc(node, out, vc);
                     let owner = self.nodes[node].outputs[out].owner[ovc];
-                    if owner.is_none() && self.credit_ok(node, out, ovc) {
-                        chosen = Some((ip, vc, ovc));
+                    if owner.is_none() {
+                        if self.credit_ok(node, out, ovc) {
+                            chosen = Some((ip, vc, ovc));
+                        } else {
+                            self.stats.credit_stalls += 1;
+                        }
                     }
                 }
             }
@@ -595,8 +631,19 @@ impl Network {
             }
             PortLink::Link { peer, peer_in } => {
                 if flit.kind.is_head() {
+                    let record = self.record_hops;
                     if let Some(state) = self.packets.get_mut(&flit.packet) {
                         state.hops += 1;
+                        if record {
+                            step.hops.push(HopRecord {
+                                packet: flit.packet,
+                                node: node as u32,
+                                at: now,
+                                link_busy: SimSpan::from_ns(
+                                    ser.as_ns() * state.flits_remaining as u64,
+                                ),
+                            });
+                        }
                     }
                 }
                 step.schedule.push((
@@ -691,6 +738,48 @@ mod tests {
         let got = drive(&mut net, vec![(SimTime::ZERO, Packet::new(0, 2, 2, 4096))]);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].hops, 0);
+    }
+
+    #[test]
+    fn hop_recording_reports_each_link_crossing() {
+        let mut net = Network::new(cfg(TopologyKind::Mesh1D, 8));
+        net.set_record_hops(true);
+        let mut step = Step::default();
+        let mut queue = EventQueue::new();
+        let mut hops: Vec<HopRecord> = Vec::new();
+        let mut delivered = Vec::new();
+        net.inject_into(SimTime::ZERO, Packet::new(9, 0, 7, 4096), &mut step);
+        loop {
+            hops.append(&mut step.hops);
+            delivered.append(&mut step.delivered);
+            for (t, e) in step.schedule.drain(..) {
+                queue.push(t, e);
+            }
+            let Some((t, e)) = queue.pop() else { break };
+            net.handle_into(t, e, &mut step);
+        }
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].hops, 7);
+        assert_eq!(hops.len(), 7, "one HopRecord per link crossing");
+        assert!(hops.iter().all(|h| h.packet == 9));
+        assert!(hops.iter().all(|h| h.link_busy > SimSpan::ZERO));
+        // Crossings happen strictly in time order along the path.
+        assert!(hops.windows(2).all(|w| w[0].at < w[1].at));
+    }
+
+    #[test]
+    fn hop_recording_does_not_perturb_delivery() {
+        let run = |record: bool| {
+            let mut net = Network::new(cfg(TopologyKind::Mesh1D, 8));
+            net.set_record_hops(record);
+            let mut rng = Rng::new(42);
+            let pkts = schedule(8, Pattern::UniformRandom, 400_000_000, 4096,
+                                SimSpan::from_us(100), &mut rng);
+            let got = drive(&mut net, pkts);
+            let lat: Vec<u64> = got.iter().map(|d| d.latency().as_ns()).collect();
+            (got.len(), lat, net.stats().flit_hops, net.stats().credit_stalls)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub struct NocStats {
     pub latency: Histogram,
     /// Total head-flit hops (for mean hop count).
     pub total_hops: u64,
+    /// Arbitration attempts that found a routable flit but no downstream
+    /// credit — a back-pressure signal sampled by the telemetry epoch
+    /// probe.
+    pub credit_stalls: u64,
 }
 
 impl NocStats {

@@ -47,4 +47,8 @@ pub use config::{Architecture, DynamicSbConfig, SsdConfig, WasScanConfig};
 pub use faults::{FaultConfig, FaultInjector, ReadFault};
 pub use metrics::{FaultCounters, RunReport, StageBreakdown, StageKind};
 pub use cache::WriteCache;
-pub use sim::SsdSim;
+pub use sim::{SsdSim, EPOCH_COLUMNS};
+
+// Re-exported so embedders can configure tracing without a separate
+// dependency on the telemetry crate.
+pub use dssd_telemetry::{TraceConfig, Tracer};

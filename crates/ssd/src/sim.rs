@@ -12,6 +12,7 @@ use dssd_flash::{DieGrid, EraseOutcome, FlashOp, FlashOpKind, PageAddr, WearMode
 use dssd_ftl::{AllocGroup, CopyGroup, Ftl, GcRound, Lpn};
 use dssd_kernel::{BandwidthServer, EventQueue, Rng, SimSpan, SimTime, Slab, SlabKey};
 use dssd_noc::{Network, NocEvent, Packet};
+use dssd_telemetry::{Class, EpochSeries, Stage, TraceConfig, Tracer, Track};
 use dssd_workload::{Op, Request, SyntheticWorkload};
 
 use crate::cache::WriteCache;
@@ -267,7 +268,61 @@ pub struct SsdSim {
     now: SimTime,
     horizon: SimTime,
     prefilled: bool,
+    /// Span tracer (disabled unless [`SsdSim::enable_tracing`] is called).
+    /// Strictly observational: it never schedules events or draws random
+    /// numbers, so enabling it cannot perturb the simulation.
+    tracer: Tracer,
+    /// Epoch time-series probe; piggybacks on the event loop (no queue
+    /// events of its own) so `events_delivered` stays bit-identical.
+    epoch: Option<EpochProbe>,
 }
+
+/// Fixed-interval sampling state for the telemetry epoch time-series.
+#[derive(Debug)]
+struct EpochProbe {
+    every: SimSpan,
+    next: SimTime,
+    series: EpochSeries,
+    prev: EpochPrev,
+}
+
+/// Cumulative-counter snapshot from the previous epoch, for rate deltas.
+#[derive(Debug, Default, Clone, Copy)]
+struct EpochPrev {
+    io_bytes: u64,
+    gc_bytes: u64,
+    completed: u64,
+    gc_pages: u64,
+    sysbus_io_busy_ns: u64,
+    sysbus_gc_busy_ns: u64,
+    ecc_busy_ns: u64,
+    credit_stalls: u64,
+    faults: u64,
+}
+
+/// Column schema of the epoch time-series (first column is the epoch end
+/// time in milliseconds; `*_gbps`, `*_util` and `*_per_s` are epoch rates,
+/// the rest are instantaneous depths/counts at the epoch boundary).
+pub const EPOCH_COLUMNS: [&str; 18] = [
+    "t_ms",
+    "outstanding",
+    "ctrl_queue_depth",
+    "dbuf_in_use",
+    "free_superblocks",
+    "gc_active",
+    "gc_pending_groups",
+    "gc_jobs_inflight",
+    "noc_in_flight",
+    "io_gbps",
+    "gc_gbps",
+    "sysbus_io_util",
+    "sysbus_gc_util",
+    "ecc_util",
+    "credit_stalls_per_s",
+    "completed_per_s",
+    "gc_pages_per_s",
+    "faults_per_s",
+];
 
 impl SsdSim {
     /// Builds an idle simulator from a config.
@@ -428,6 +483,8 @@ impl SsdSim {
             horizon: SimTime::MAX,
             config,
             prefilled: false,
+            tracer: Tracer::disabled(),
+            epoch: None,
         }
     }
 
@@ -534,6 +591,39 @@ impl SsdSim {
     }
 
     // ------------------------------------------------------------------
+    // Telemetry
+    // ------------------------------------------------------------------
+
+    /// Enables span tracing (and epoch sampling when `cfg.epoch` is set).
+    /// Call before running. The tracer is strictly observational — it
+    /// never schedules events or draws random numbers — so enabling it
+    /// leaves the [`RunReport`] bit-identical to an untraced run.
+    pub fn enable_tracing(&mut self, cfg: TraceConfig) {
+        self.tracer = Tracer::enabled(cfg);
+        if let Some(n) = self.noc.as_mut() {
+            n.set_record_hops(true);
+        }
+        self.epoch = cfg.epoch.map(|every| EpochProbe {
+            every,
+            next: SimTime::ZERO + every,
+            series: EpochSeries::new(EPOCH_COLUMNS.to_vec()),
+            prev: EpochPrev::default(),
+        });
+    }
+
+    /// The span tracer (disabled unless [`SsdSim::enable_tracing`] ran).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The collected epoch time-series, if epoch sampling is enabled.
+    #[must_use]
+    pub fn epoch_series(&self) -> Option<&EpochSeries> {
+        self.epoch.as_ref().map(|e| &e.series)
+    }
+
+    // ------------------------------------------------------------------
     // Event loop
     // ------------------------------------------------------------------
 
@@ -545,8 +635,17 @@ impl SsdSim {
             if t > self.horizon {
                 break;
             }
+            // Epoch sampling piggybacks here rather than scheduling its
+            // own events, so `events_delivered` (and every golden
+            // fingerprint) stays identical with sampling on or off.
+            if self.epoch.is_some() {
+                self.sample_epochs_until(t);
+            }
             self.now = t;
             self.handle(ev);
+        }
+        if self.epoch.is_some() {
+            self.sample_epochs_until(self.horizon);
         }
         self.report.events_delivered = self.queue.delivered();
     }
@@ -562,7 +661,8 @@ impl SsdSim {
                 let bytes = self.page_bytes(leg.pages);
                 let t =
                     self.flash_bus[leg.channel as usize].enqueue(self.now, bytes, CLASS_IO);
-                self.req_span(leg.req, StageKind::FlashBus, t.done - self.now);
+                let track = Track::ChannelBus(leg.channel as u16);
+                self.req_span(leg.req, StageKind::FlashBus, track, t.done - self.now);
                 self.queue.push(t.done, Ev::WriteAtDie { leg });
             }
             Ev::WriteAtDie { leg } => self.write_at_die(*leg),
@@ -573,20 +673,21 @@ impl SsdSim {
                 let bytes = self.page_bytes(leg.pages);
                 let t =
                     self.flash_bus[leg.channel as usize].enqueue(self.now, bytes, CLASS_IO);
-                self.req_span(leg.req, StageKind::FlashBus, t.done - self.now);
+                let track = Track::ChannelBus(leg.channel as u16);
+                self.req_span(leg.req, StageKind::FlashBus, track, t.done - self.now);
                 self.queue.push(t.done, Ev::ReadAtEcc { leg });
             }
             Ev::ReadAtEcc { leg } => self.read_at_ecc(*leg),
             Ev::ReadAtSysbus { req, pages } => {
                 let bytes = self.page_bytes(pages);
                 let t = self.sysbus_xfer(bytes, CLASS_IO);
-                self.req_span(req, StageKind::SystemBus, t.1 - self.now);
+                self.req_span(req, StageKind::SystemBus, Track::SysBus, t.1 - self.now);
                 self.queue.push(t.1, Ev::ReadDone { req, pages });
             }
             Ev::DramHitAtDram { req, pages } => {
                 let bytes = self.page_bytes(pages);
                 let t = self.dram.enqueue(self.now, bytes, CLASS_IO);
-                self.req_span(req, StageKind::Dram, t.done - self.now);
+                self.req_span(req, StageKind::Dram, Track::Dram, t.done - self.now);
                 self.queue.push(t.done, Ev::DramHitDone { req, pages });
             }
             Ev::DramHitDone { req, pages } => self.finish_pages(req, pages),
@@ -611,13 +712,15 @@ impl SsdSim {
                     }
                 }
                 let t = self.flash_bus[ch].enqueue(self.now, bytes, CLASS_GC);
-                self.job_span(job, StageKind::FlashBus, t.done - self.now);
+                let track = Track::ChannelBus(ch as u16);
+                self.job_span(job, StageKind::FlashBus, track, t.done - self.now);
                 self.queue.push(t.done, Ev::CopyAtEcc { job });
             }
             Ev::CopyAtEcc { job } => {
                 let (bytes, ch) = self.job_src(job);
                 let t = self.controllers[ch].ecc_mut().decode_as(self.now, bytes, CLASS_GC);
-                self.job_span(job, StageKind::Ecc, t.done - self.now);
+                let track = Track::ChannelEcc(ch as u16);
+                self.job_span(job, StageKind::Ecc, track, t.done - self.now);
                 self.queue.push(t.done, Ev::CopyTransport { job });
             }
             Ev::CopyTransport { job } => {
@@ -627,19 +730,20 @@ impl SsdSim {
             Ev::CopyAtDram { job } => {
                 let n = self.jobs[job].pages.len() as u32;
                 let t = self.dram_xfer_pages(n, CLASS_GC);
-                self.job_span(job, StageKind::Dram, t.1 - self.now);
+                self.job_span(job, StageKind::Dram, Track::Dram, t.1 - self.now);
                 self.queue.push(t.1, Ev::CopyFromDram { job });
             }
             Ev::CopyFromDram { job } => {
                 let n = self.jobs[job].pages.len() as u32;
                 let t = self.sysbus_xfer_pages(n, CLASS_GC);
-                self.job_span(job, StageKind::SystemBus, t.1 - self.now);
+                self.job_span(job, StageKind::SystemBus, Track::SysBus, t.1 - self.now);
                 self.queue.push(t.1, Ev::CopyAtDstBus { job });
             }
             Ev::CopyAtDstBus { job } => {
                 let (bytes, ch) = self.job_dst(job);
                 let t = self.flash_bus[ch].enqueue(self.now, bytes, CLASS_GC);
-                self.job_span(job, StageKind::FlashBus, t.done - self.now);
+                let track = Track::ChannelBus(ch as u16);
+                self.job_span(job, StageKind::FlashBus, track, t.done - self.now);
                 self.queue.push(t.done, Ev::CopyAtDstDie { job });
             }
             Ev::CopyAtDstDie { job } => {
@@ -655,7 +759,8 @@ impl SsdSim {
                 let lat = FlashOp::multi_plane(FlashOpKind::Program, dst, pages)
                     .array_latency(&self.config.timing, &mut self.rng);
                 let (_, done) = self.dies.occupy(die, self.now, lat);
-                self.job_span(job, StageKind::FlashChip, done - self.now);
+                let track = Track::Die(die as u32);
+                self.job_span(job, StageKind::FlashChip, track, done - self.now);
                 self.queue.push(done, Ev::CopyDone { job });
             }
             Ev::CopyDone { job } => self.copy_done(job),
@@ -705,10 +810,15 @@ impl SsdSim {
             spans: Vec::new(),
             failed: false,
         });
+        let name = match r.op {
+            Op::Read => "read",
+            Op::Write => "write",
+        };
+        self.tracer.begin(Class::Io, id.to_bits(), name, self.now);
         if r.dram_hit {
             let bytes = self.page_bytes(r.pages);
             let t = self.sysbus_xfer(bytes, CLASS_IO);
-            self.req_span(id, StageKind::SystemBus, t.1 - self.now);
+            self.req_span(id, StageKind::SystemBus, Track::SysBus, t.1 - self.now);
             self.queue.push(t.1, Ev::DramHitAtDram { req: id, pages: r.pages });
             return;
         }
@@ -729,7 +839,7 @@ impl SsdSim {
             }
             let bytes = self.page_bytes(r.pages);
             let t = self.sysbus_xfer(bytes, CLASS_IO);
-            self.req_span(id, StageKind::SystemBus, t.1 - self.now);
+            self.req_span(id, StageKind::SystemBus, Track::SysBus, t.1 - self.now);
             self.queue.push(t.1, Ev::DramHitAtDram { req: id, pages: r.pages });
             self.pump_flush();
             return;
@@ -801,7 +911,7 @@ impl SsdSim {
             // Write-buffer hits are served from DRAM.
             let bytes = self.page_bytes(cached);
             let t = self.sysbus_xfer(bytes, CLASS_IO);
-            self.req_span(id, StageKind::SystemBus, t.1 - self.now);
+            self.req_span(id, StageKind::SystemBus, Track::SysBus, t.1 - self.now);
             self.queue.push(t.1, Ev::DramHitAtDram { req: id, pages: cached });
         }
         if unmapped > 0 {
@@ -810,7 +920,7 @@ impl SsdSim {
             // system-bus crossing only.
             let bytes = self.page_bytes(unmapped);
             let t = self.sysbus_xfer(bytes, CLASS_IO);
-            self.req_span(id, StageKind::SystemBus, t.1 - self.now);
+            self.req_span(id, StageKind::SystemBus, Track::SysBus, t.1 - self.now);
             self.queue.push(t.1, Ev::ReadDone { req: id, pages: unmapped });
         }
         for ((die, _row, channel), (pages, raw)) in groups {
@@ -835,7 +945,7 @@ impl SsdSim {
             )
             .array_latency(&self.config.timing, &mut self.rng);
             let (_, done) = self.dies.occupy(die, self.now, lat);
-            self.req_span(id, StageKind::FlashChip, done - self.now);
+            self.req_span(id, StageKind::FlashChip, Track::Die(die as u32), done - self.now);
             self.queue.push(
                 done,
                 Ev::ReadAtBus {
@@ -885,13 +995,23 @@ impl SsdSim {
             bus_span = bus_span.max(t.done - self.now);
             latest = latest.max(t.done);
         }
-        self.req_span(id, StageKind::FlashChip, chip_span);
-        self.req_span(id, StageKind::FlashBus, bus_span.saturating_sub(chip_span));
+        // Reconstruction aggregates max-of-peers times, so its slices
+        // render on the front-end (system bus) lane rather than a single
+        // die/channel lane; the per-stage attribution is unchanged.
+        let now = self.now;
+        self.req_span_at(id, StageKind::FlashChip, Track::SysBus, now, chip_span);
+        self.req_span_at(
+            id,
+            StageKind::FlashBus,
+            Track::SysBus,
+            now + chip_span,
+            bus_span.saturating_sub(chip_span),
+        );
         // All fragments cross the system bus to be XORed at the front end.
         let frag_bytes = bytes * (geo.channels as u64 - 1);
         let t = self.sysbus.enqueue(latest, frag_bytes, CLASS_IO);
         self.report.sysbus_io_util.record_busy(t.start, t.done);
-        self.req_span(id, StageKind::SystemBus, t.done - latest);
+        self.req_span_at(id, StageKind::SystemBus, Track::SysBus, latest, t.done - latest);
         self.queue.push(t.done, Ev::ReadDone { req: id, pages });
     }
 
@@ -908,6 +1028,15 @@ impl SsdSim {
         self.outstanding -= 1;
         if state.failed {
             self.report.faults.requests_failed += 1;
+        }
+        if self.tracer.is_enabled() {
+            let name = match state.op {
+                Op::Read => "read",
+                Op::Write => "write",
+            };
+            let totals = Self::stage_totals(&state.spans);
+            self.tracer
+                .end(Class::Io, req.to_bits(), name, self.now, state.failed, &totals);
         }
         let latency = self.now - state.arrived;
         self.report.io_latency.record(latency);
@@ -953,6 +1082,8 @@ impl SsdSim {
     /// instead of recycling it into the free pool.
     fn begin_round(&mut self, round: GcRound, retiring: bool) {
         self.report.first_gc_at.get_or_insert(self.now);
+        let marker = if retiring { "gc round start (retiring)" } else { "gc round start" };
+        self.tracer.instant(Track::Sim, marker, self.now);
         let mut pending: VecDeque<CopyGroup> = round.groups.iter().cloned().collect();
         if matches!(self.config.ftl.policy, dssd_ftl::GcPolicy::TinyTail { .. }) {
             // Partial GC proceeds channel by channel.
@@ -1020,6 +1151,7 @@ impl SsdSim {
         let Some(dst_group) = self.ftl.try_alloc_gc_group(want) else {
             // No erased superblock left to copy into: the device has
             // reached end of life. GC stops; writes block permanently.
+            self.tracer.instant(Track::Sim, "end of life", self.now);
             self.report.end_of_life.get_or_insert(self.now);
             self.gc = None;
             return;
@@ -1061,6 +1193,7 @@ impl SsdSim {
             holds_src_dbuf: false,
             cmd,
         });
+        self.tracer.begin(Class::Gc, id.to_bits(), "copyback", self.now);
         if let Some(gc) = &mut self.gc {
             gc.channel_inflight[src_ch as usize] += 1;
         }
@@ -1077,7 +1210,7 @@ impl SsdSim {
         let lat = FlashOp::multi_plane(FlashOpKind::Read, eff_src, take as u32)
             .array_latency(&self.config.timing, &mut self.rng);
         let (_, done) = self.dies.occupy(die, self.now, lat);
-        self.job_span(id, StageKind::FlashChip, done - self.now);
+        self.job_span(id, StageKind::FlashChip, Track::Die(die as u32), done - self.now);
         self.queue.push(done, Ev::CopyAtSrcBus { job: id });
     }
 
@@ -1092,7 +1225,7 @@ impl SsdSim {
                 // transaction per scattered page.
                 let n = self.jobs[job].pages.len() as u32;
                 let t = self.sysbus_xfer_pages(n, CLASS_GC);
-                self.job_span(job, StageKind::SystemBus, t.1 - self.now);
+                self.job_span(job, StageKind::SystemBus, Track::SysBus, t.1 - self.now);
                 self.queue.push(t.1, Ev::CopyAtDram { job });
             }
             Architecture::Dssd => {
@@ -1103,7 +1236,7 @@ impl SsdSim {
                     // the source dBUF, so it crosses as one burst.
                     let bytes = self.page_bytes(self.jobs[job].pages.len() as u32);
                     let t = self.sysbus_xfer(bytes, CLASS_GC);
-                    self.job_span(job, StageKind::SystemBus, t.1 - self.now);
+                    self.job_span(job, StageKind::SystemBus, Track::SysBus, t.1 - self.now);
                     self.queue.push(t.1, Ev::CopyAtDstBus { job });
                 }
             }
@@ -1115,7 +1248,8 @@ impl SsdSim {
                     let bytes = self.page_bytes(self.jobs[job].pages.len() as u32);
                     let bus = self.dedicated_bus.as_mut().expect("dSSD_b has a bus");
                     let t = bus.enqueue(self.now, bytes, CLASS_GC);
-                    self.job_span(job, StageKind::Noc, t.done - self.now);
+                    let track = Track::DedicatedBus;
+                    self.job_span(job, StageKind::Noc, track, t.done - self.now);
                     self.queue.push(t.done, Ev::CopyAtDstBus { job });
                 }
             }
@@ -1137,6 +1271,7 @@ impl SsdSim {
                     if self.injector.as_mut().is_some_and(|i| i.noc_degrades()) {
                         // Injected link degradation: the packet times out
                         // and is re-injected after the configured delay.
+                        self.tracer.instant(Track::Faults, "noc degrade", self.now);
                         self.report.faults.noc_faults += 1;
                         let at = self.now + self.config.faults.noc_degrade_latency;
                         self.queue.push(at, Ev::NocRetry { pkt: Box::new(pkt) });
@@ -1198,6 +1333,23 @@ impl SsdSim {
     /// Drains a NoC [`Step`](dssd_noc::Step) into the event queue,
     /// leaving its buffers empty (capacity retained) for reuse.
     fn absorb_noc(&mut self, step: &mut dssd_noc::Step) {
+        // Per-hop link slices first: `packet_jobs` entries are removed on
+        // delivery, and the delivered packet's final hops ride in the same
+        // step. Only recorded when tracing (the network records hops only
+        // after `set_record_hops`).
+        for h in step.hops.drain(..) {
+            if let Some(&job) = self.packet_jobs.get(SlabKey::from_bits(h.packet)) {
+                self.tracer.span_named(
+                    Class::Gc,
+                    job.to_bits(),
+                    Track::Router(h.node as u16),
+                    Stage::Noc,
+                    "noc hop",
+                    h.at,
+                    h.link_busy,
+                );
+            }
+        }
         for (t, e) in step.schedule.drain(..) {
             self.queue.push(t, Ev::Noc(e));
         }
@@ -1209,7 +1361,13 @@ impl SsdSim {
             let j = &mut self.jobs[job];
             j.packets_in_flight -= 1;
             if j.packets_in_flight == 0 {
-                self.job_span(job, StageKind::Noc, d.latency());
+                self.job_span_at(
+                    job,
+                    StageKind::Noc,
+                    Track::NocTransit,
+                    d.injected_at,
+                    d.latency(),
+                );
                 self.queue.push(self.now, Ev::CopyAtDstBus { job });
             }
         }
@@ -1227,6 +1385,11 @@ impl SsdSim {
         }
         self.report.gc_pages_copied += j.pages.len() as u64;
         self.report.gc_bw.record(self.now, bytes);
+        if self.tracer.is_enabled() {
+            let totals = Self::stage_totals(&j.spans);
+            self.tracer
+                .end(Class::Gc, job.to_bits(), "copyback", self.now, false, &totals);
+        }
         self.report.copyback_breakdown.record(&j.spans);
         if let Some(gc) = &mut self.gc {
             gc.copies_done += j.pages.len();
@@ -1287,6 +1450,7 @@ impl SsdSim {
 
     fn finish_round(&mut self) {
         let gc = self.gc.take().expect("finishing absent round");
+        self.tracer.instant(Track::Sim, "gc round done", self.now);
         self.report.gc_rounds += 1;
         if gc.retiring {
             // Relocation complete: erase the victim's blocks and retire
@@ -1464,6 +1628,7 @@ impl SsdSim {
             if self.injector.as_mut().is_some_and(|i| i.erase_fails()) {
                 // Injected erase failure: the block dies on the spot,
                 // whatever its endurance budget said.
+                self.tracer.instant(Track::Faults, "erase failure", self.now);
                 self.report.faults.erase_failures += 1;
                 self.report.faults.blocks_retired += 1;
                 self.wear.as_mut().unwrap().force_worn(idx);
@@ -1542,6 +1707,7 @@ impl SsdSim {
             spare_addr.die,
         );
         self.report.dynamic_remaps += 1;
+        self.tracer.instant(Track::Faults, "dynamic remap", self.now);
         true
     }
 
@@ -1581,7 +1747,7 @@ impl SsdSim {
             let pages = n as u32;
             let bytes = self.page_bytes(pages);
             let t = self.sysbus_xfer(bytes, CLASS_IO);
-            self.req_span(req, StageKind::SystemBus, t.1 - self.now);
+            self.req_span(req, StageKind::SystemBus, Track::SysBus, t.1 - self.now);
             self.queue.push(
                 t.1,
                 Ev::WriteAtCtrl {
@@ -1640,8 +1806,11 @@ impl SsdSim {
         let lat = FlashOp::multi_plane(FlashOpKind::Program, leg.addr, leg.pages)
             .array_latency(&self.config.timing, &mut self.rng);
         let (_, done) = self.dies.occupy(leg.die, self.now, lat);
-        self.req_span(leg.req, StageKind::FlashChip, done - self.now);
+        let track = Track::Die(leg.die as u32);
+        self.req_span(leg.req, StageKind::FlashChip, track, done - self.now);
         if self.injector.as_mut().is_some_and(|i| i.program_fails()) {
+            // The failure surfaces in the status read after program time.
+            self.tracer.instant(Track::Faults, "program failure", done);
             self.report.faults.program_failures += 1;
             self.handle_program_failure(leg, done);
             return;
@@ -1685,7 +1854,8 @@ impl SsdSim {
         let t = self.controllers[leg.channel as usize]
             .ecc_mut()
             .decode_as(self.now, bytes, CLASS_IO);
-        self.req_span(leg.req, StageKind::Ecc, t.done - self.now);
+        let track = Track::ChannelEcc(leg.channel as u16);
+        self.req_span(leg.req, StageKind::Ecc, track, t.done - self.now);
         if self.injector.is_none() {
             self.queue.push(t.done, Ev::ReadAtSysbus { req: leg.req, pages: leg.pages });
             return;
@@ -1767,7 +1937,14 @@ impl SsdSim {
         let factor = self.config.faults.retry_latency_factor.powi(leg.attempt as i32);
         let lat = SimSpan::from_ns((base.as_ns() as f64 * factor).round() as u64);
         let (_, done) = self.dies.occupy(leg.die, at, lat);
-        self.req_span(leg.req, StageKind::FlashChip, done - at);
+        self.req_span_at(
+            leg.req,
+            StageKind::FlashChip,
+            Track::Die(leg.die as u32),
+            at,
+            done - at,
+        );
+        self.tracer.instant(Track::Faults, "read retry", at);
         self.report.faults.read_retries += 1;
         self.report.faults.retry_latency += done - at;
         self.queue.push(done, Ev::ReadAtBus { leg: Box::new(leg) });
@@ -1778,6 +1955,7 @@ impl SsdSim {
     /// (front-end-reconstructed) data still crosses the system bus so the
     /// request completes instead of hanging.
     fn fail_read(&mut self, leg: ReadLeg, at: SimTime) {
+        self.tracer.instant(Track::Faults, "uncorrectable read", at);
         self.report.faults.uncorrectable_reads += 1;
         if let Some(st) = self.requests.get_mut(leg.req) {
             st.failed = true;
@@ -1798,6 +1976,7 @@ impl SsdSim {
             }
             w.force_worn(idx);
         }
+        self.tracer.instant(Track::Faults, "block retired", self.now);
         self.report.faults.blocks_retired += 1;
         if self.config.architecture.is_decoupled() && self.try_remap_worn(b) {
             return;
@@ -1854,6 +2033,7 @@ impl SsdSim {
     /// Accounting for a completed superblock retirement: on decoupled
     /// architectures the still-healthy sub-blocks feed the recycle bins.
     fn finish_retirement(&mut self, sb: u32) {
+        self.tracer.instant(Track::Faults, "superblock retired", self.now);
         self.report.bad_superblocks += 1;
         self.report.faults.superblocks_retired += 1;
         if self.config.architecture.is_decoupled() {
@@ -1930,16 +2110,136 @@ impl SsdSim {
         (first, last)
     }
 
-    fn req_span(&mut self, req: ReqId, stage: StageKind, span: SimSpan) {
-        if let Some(r) = self.requests.get_mut(req) {
-            r.spans.push((stage, span));
+    /// Maps a simulator [`StageKind`] onto the telemetry [`Stage`] with the
+    /// same dense index (the two taxonomies mirror each other exactly).
+    fn tele_stage(stage: StageKind) -> Stage {
+        Stage::ALL[stage.index()]
+    }
+
+    /// Attributes `span` of `stage` time to request `req`, both in the
+    /// latency breakdown and (when tracing) as a timeline slice starting
+    /// at `self.now` on `track`. Single funnel: the trace slice and the
+    /// breakdown entry are always the same duration.
+    fn req_span(&mut self, req: ReqId, stage: StageKind, track: Track, span: SimSpan) {
+        let now = self.now;
+        self.req_span_at(req, stage, track, now, span);
+    }
+
+    /// [`SsdSim::req_span`] with an explicit slice start (for spans that
+    /// begin at a scheduled time rather than `self.now`).
+    fn req_span_at(
+        &mut self,
+        req: ReqId,
+        stage: StageKind,
+        track: Track,
+        start: SimTime,
+        span: SimSpan,
+    ) {
+        let Some(r) = self.requests.get_mut(req) else { return };
+        r.spans.push((stage, span));
+        self.tracer
+            .span(Class::Io, req.to_bits(), track, Self::tele_stage(stage), start, span);
+    }
+
+    /// Attributes `span` of `stage` time to GC job `job`; see
+    /// [`SsdSim::req_span`].
+    fn job_span(&mut self, job: JobId, stage: StageKind, track: Track, span: SimSpan) {
+        let now = self.now;
+        self.job_span_at(job, stage, track, now, span);
+    }
+
+    /// [`SsdSim::job_span`] with an explicit slice start.
+    fn job_span_at(
+        &mut self,
+        job: JobId,
+        stage: StageKind,
+        track: Track,
+        start: SimTime,
+        span: SimSpan,
+    ) {
+        let Some(j) = self.jobs.get_mut(job) else { return };
+        j.spans.push((stage, span));
+        self.tracer
+            .span(Class::Gc, job.to_bits(), track, Self::tele_stage(stage), start, span);
+    }
+
+    /// Sums a request/job span list into per-stage totals indexed by
+    /// [`StageKind::index`] (what [`Tracer::end`] feeds the summary).
+    fn stage_totals(spans: &[(StageKind, SimSpan)]) -> [SimSpan; 6] {
+        let mut totals = [SimSpan::ZERO; 6];
+        for &(k, s) in spans {
+            totals[k.index()] += s;
+        }
+        totals
+    }
+
+    /// Samples every epoch boundary at or before `t` (cold path — only
+    /// reached when epoch sampling is enabled).
+    fn sample_epochs_until(&mut self, t: SimTime) {
+        while let Some(next) = self.epoch.as_ref().map(|e| e.next) {
+            if next > t || next > self.horizon {
+                break;
+            }
+            self.sample_epoch(next);
         }
     }
 
-    fn job_span(&mut self, job: JobId, stage: StageKind, span: SimSpan) {
-        if let Some(j) = self.jobs.get_mut(job) {
-            j.spans.push((stage, span));
-        }
+    /// Collects one epoch row at boundary `at`. Read-only with respect to
+    /// simulation state: it only inspects queues, meters and counters.
+    fn sample_epoch(&mut self, at: SimTime) {
+        let Some(mut probe) = self.epoch.take() else { return };
+        let dt = probe.every.as_secs_f64();
+        let epoch_ns = probe.every.as_ns() as f64;
+        let prev = probe.prev;
+
+        let io_bytes = self.report.io_bw.total_bytes();
+        let gc_bytes = self.report.gc_bw.total_bytes();
+        let completed = self.report.requests_completed;
+        let gc_pages = self.report.gc_pages_copied;
+        let sysbus_io_busy_ns = self.report.sysbus_io_util.total_busy().as_ns();
+        let sysbus_gc_busy_ns = self.report.sysbus_gc_util.total_busy().as_ns();
+        let ecc_busy_ns: u64 = self
+            .controllers
+            .iter()
+            .map(|c| (c.ecc().class_busy(CLASS_IO) + c.ecc().class_busy(CLASS_GC)).as_ns())
+            .sum();
+        let credit_stalls = self.noc.as_ref().map_or(0, |n| n.stats().credit_stalls);
+        let faults = self.report.faults.injected_total();
+
+        probe.series.push_row(vec![
+            at.as_ns() as f64 / 1e6,
+            self.outstanding as f64,
+            self.controllers.iter().map(|c| c.queue().len()).sum::<usize>() as f64,
+            self.controllers.iter().map(|c| c.dbuf().in_use()).sum::<usize>() as f64,
+            self.ftl.free_superblocks() as f64,
+            f64::from(u8::from(self.gc.is_some())),
+            self.gc.as_ref().map_or(0, |g| g.pending.len()) as f64,
+            self.jobs.len() as f64,
+            self.noc.as_ref().map_or(0, |n| n.in_flight()) as f64,
+            (io_bytes - prev.io_bytes) as f64 / dt / 1e9,
+            (gc_bytes - prev.gc_bytes) as f64 / dt / 1e9,
+            (sysbus_io_busy_ns - prev.sysbus_io_busy_ns) as f64 / epoch_ns,
+            (sysbus_gc_busy_ns - prev.sysbus_gc_busy_ns) as f64 / epoch_ns,
+            (ecc_busy_ns - prev.ecc_busy_ns) as f64
+                / (epoch_ns * self.controllers.len().max(1) as f64),
+            (credit_stalls - prev.credit_stalls) as f64 / dt,
+            (completed - prev.completed) as f64 / dt,
+            (gc_pages - prev.gc_pages) as f64 / dt,
+            (faults - prev.faults) as f64 / dt,
+        ]);
+        probe.prev = EpochPrev {
+            io_bytes,
+            gc_bytes,
+            completed,
+            gc_pages,
+            sysbus_io_busy_ns,
+            sysbus_gc_busy_ns,
+            ecc_busy_ns,
+            credit_stalls,
+            faults,
+        };
+        probe.next = at + probe.every;
+        self.epoch = Some(probe);
     }
 
     fn job_src(&self, job: JobId) -> (u64, usize) {

@@ -1,0 +1,132 @@
+//! Epoch time-series: fixed-interval samples of queue depths, utilization
+//! and fault counters, exported as JSONL (one JSON object per line).
+//!
+//! The sampler itself lives in the simulator (it reads simulator state);
+//! this module only owns the collected rows and their serialization. Rows
+//! are plain `f64` vectors against a fixed column schema, so the storage
+//! cost is eight bytes per cell regardless of run length.
+
+use std::io::{self, Write};
+
+/// A collected epoch time-series.
+#[derive(Debug, Clone)]
+pub struct EpochSeries {
+    columns: Vec<&'static str>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl EpochSeries {
+    /// Create a series with the given column schema. By convention the
+    /// first column is the epoch end time (`t_ms`).
+    #[must_use]
+    pub fn new(columns: Vec<&'static str>) -> Self {
+        EpochSeries {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one sample row. Panics if the row width does not match the
+    /// column schema — a programming error in the sampler.
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "epoch row width must match column schema"
+        );
+        self.rows.push(row);
+    }
+
+    /// The column schema.
+    #[must_use]
+    pub fn columns(&self) -> &[&'static str] {
+        &self.columns
+    }
+
+    /// Collected rows, oldest first.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Number of collected rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows have been collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serialize as JSONL: one flat JSON object per row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        for row in &self.rows {
+            let mut first = true;
+            write!(w, "{{")?;
+            for (col, val) in self.columns.iter().zip(row) {
+                if !first {
+                    write!(w, ",")?;
+                }
+                first = false;
+                write!(w, "\"{col}\":{}", fmt_f64(*val))?;
+            }
+            writeln!(w, "}}")?;
+        }
+        Ok(())
+    }
+
+    /// Render to an in-memory string (convenience for tests).
+    #[must_use]
+    pub fn to_jsonl_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_jsonl(&mut buf).expect("in-memory write cannot fail");
+        String::from_utf8(buf).expect("serializer emits UTF-8")
+    }
+}
+
+/// Format an `f64` as a valid JSON number (JSON has no NaN/Infinity).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_has_one_object_per_row() {
+        let mut s = EpochSeries::new(vec!["t_ms", "depth"]);
+        s.push_row(vec![0.5, 3.0]);
+        s.push_row(vec![1.0, 7.0]);
+        let out = s.to_jsonl_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "{\"t_ms\":0.5,\"depth\":3}");
+        assert_eq!(lines[1], "{\"t_ms\":1,\"depth\":7}");
+    }
+
+    #[test]
+    fn non_finite_values_serialize_as_zero() {
+        let mut s = EpochSeries::new(vec!["x"]);
+        s.push_row(vec![f64::NAN]);
+        assert_eq!(s.to_jsonl_string(), "{\"x\":0}\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut s = EpochSeries::new(vec!["a", "b"]);
+        s.push_row(vec![1.0]);
+    }
+}

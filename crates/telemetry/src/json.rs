@@ -1,0 +1,486 @@
+//! A minimal JSON parser and Chrome Trace Event schema validator.
+//!
+//! The workspace is dependency-free, so trace files emitted by
+//! [`crate::chrome`] are validated with this hand-rolled recursive-descent
+//! parser instead of an external crate. It accepts strict JSON (RFC 8259)
+//! and is only used offline — in tests and `dssd-cli trace-validate` —
+//! never on the simulation hot path.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order is normalized (sorted) — Chrome Trace
+    /// consumers are order-insensitive.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object member lookup, `None` for non-objects / missing keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A parse or validation error with byte offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where the problem was found.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError {
+            message: msg.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => self.err(format!("unexpected character '{}'", c as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            self.err(format!("expected '{lit}'"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return self.err("expected ',' or '}' in object"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']' in array"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek();
+                    self.pos += 1;
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: accept and combine; lone
+                            // surrogates become U+FFFD.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((cp - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined).unwrap_or('\u{FFFD}')
+                                } else {
+                                    '\u{FFFD}'
+                                }
+                            } else {
+                                char::from_u32(cp).unwrap_or('\u{FFFD}')
+                            };
+                            out.push(c);
+                        }
+                        _ => return self.err("invalid escape sequence"),
+                    }
+                }
+                Some(_) => {
+                    // Consume the maximal run of plain bytes in one step
+                    // (validating only the run keeps parsing O(n); the
+                    // delimiter bytes below never occur inside a multi-byte
+                    // UTF-8 sequence, so a byte scan is safe).
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| JsonError {
+                            message: "invalid UTF-8 in string".into(),
+                            offset: start,
+                        })?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return self.err("truncated \\u escape");
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok());
+        match hex {
+            Some(v) => {
+                self.pos += 4;
+                Ok(v)
+            }
+            None => self.err("invalid \\u escape"),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+            _ => self.err(format!("invalid number '{text}'")),
+        }
+    }
+}
+
+/// Parse a complete JSON document.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with the byte offset of the first syntax error,
+/// including trailing garbage after the document.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing data after JSON document");
+    }
+    Ok(v)
+}
+
+/// Counts gathered while validating a Chrome Trace document.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceFileStats {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// `"X"` complete slices.
+    pub spans: usize,
+    /// `"i"` instants.
+    pub instants: usize,
+    /// `"b"` + `"e"` async events.
+    pub asyncs: usize,
+    /// `"M"` metadata events.
+    pub metadata: usize,
+}
+
+/// Validate a Chrome Trace Event document against the schema subset this
+/// crate emits (and Perfetto requires).
+///
+/// Checks: top level is an object with a `traceEvents` array; every event
+/// is an object with a known `ph`, string `name`, numeric `pid`/`tid`, a
+/// numeric non-negative `ts` (except metadata), a non-negative numeric
+/// `dur` on `"X"` events, and an `id` on async events.
+///
+/// # Errors
+///
+/// Returns the first schema violation found, or the underlying parse error.
+pub fn validate_chrome_trace(input: &str) -> Result<TraceFileStats, JsonError> {
+    let doc = parse(input)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| JsonError {
+            message: "top level must be an object with a 'traceEvents' array".into(),
+            offset: 0,
+        })?;
+    let mut stats = TraceFileStats::default();
+    for (i, ev) in events.iter().enumerate() {
+        let fail = |msg: String| JsonError {
+            message: format!("traceEvents[{i}]: {msg}"),
+            offset: 0,
+        };
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing string 'ph'".into()))?;
+        ev.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing string 'name'".into()))?;
+        for key in ["pid", "tid"] {
+            ev.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| fail(format!("missing numeric '{key}'")))?;
+        }
+        let ts = ev.get("ts").and_then(Json::as_f64);
+        match ph {
+            "M" => stats.metadata += 1,
+            "X" => {
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| fail("'X' event missing numeric 'dur'".into()))?;
+                if dur < 0.0 {
+                    return Err(fail(format!("negative dur {dur}")));
+                }
+                check_ts(ts).map_err(fail)?;
+                stats.spans += 1;
+            }
+            "i" => {
+                check_ts(ts).map_err(fail)?;
+                stats.instants += 1;
+            }
+            "b" | "e" => {
+                ev.get("id")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| fail("async event missing string 'id'".into()))?;
+                check_ts(ts).map_err(fail)?;
+                stats.asyncs += 1;
+            }
+            other => return Err(fail(format!("unknown phase '{other}'"))),
+        }
+        stats.events += 1;
+    }
+    Ok(stats)
+}
+
+fn check_ts(ts: Option<f64>) -> Result<(), String> {
+    match ts {
+        Some(t) if t >= 0.0 => Ok(()),
+        Some(t) => Err(format!("negative ts {t}")),
+        None => Err("missing numeric 'ts'".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-12.5e1").unwrap(), Json::Num(-125.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+        let arr = parse("[1, \"x\", [], {}]").unwrap();
+        assert_eq!(arr.as_arr().unwrap().len(), 4);
+        let obj = parse("{\"a\": 1, \"b\": {\"c\": []}}").unwrap();
+        assert_eq!(obj.get("a").unwrap().as_f64(), Some(1.0));
+        assert!(obj.get("b").unwrap().get("c").is_some());
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        assert_eq!(parse("\"\\u0041\"").unwrap(), Json::Str("A".into()));
+        // Surrogate pair for 😀 (U+1F600).
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::Str("\u{1F600}".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("123 456").is_err());
+        assert!(parse("\"open").is_err());
+    }
+
+    #[test]
+    fn validates_a_wellformed_trace() {
+        let doc = r#"{"traceEvents":[
+            {"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"x"}},
+            {"ph":"X","pid":1,"tid":2,"name":"ecc","cat":"io","ts":1.5,"dur":3.0},
+            {"ph":"b","pid":1,"tid":0,"name":"read","cat":"io","id":"0x1","ts":0},
+            {"ph":"e","pid":1,"tid":0,"name":"read","cat":"io","id":"0x1","ts":9},
+            {"ph":"i","pid":7,"tid":1,"name":"fault","ts":4,"s":"t"}
+        ]}"#;
+        let stats = validate_chrome_trace(doc).unwrap();
+        assert_eq!(stats.events, 5);
+        assert_eq!(stats.spans, 1);
+        assert_eq!(stats.asyncs, 2);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.metadata, 1);
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        let missing_dur =
+            r#"{"traceEvents":[{"ph":"X","pid":1,"tid":0,"name":"a","ts":1}]}"#;
+        assert!(validate_chrome_trace(missing_dur).is_err());
+        let bad_phase = r#"{"traceEvents":[{"ph":"Z","pid":1,"tid":0,"name":"a","ts":1}]}"#;
+        assert!(validate_chrome_trace(bad_phase).is_err());
+        let no_events = r#"{"foo": []}"#;
+        assert!(validate_chrome_trace(no_events).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # dssd-telemetry — span tracing and time-series sampling for dSSD
+//!
+//! An observability subsystem for the simulator: it answers *where did
+//! this request's time go* at the granularity of a single queue, bus, ECC
+//! engine, fNoC router or die, complementing the run-level aggregates in
+//! `dssd-kernel::stats` / `dssd-ssd::metrics`.
+//!
+//! Three pieces:
+//!
+//! * [`Tracer`] — records typed [`TraceEvent`]s (resource spans, async
+//!   request/job lifecycles, fault instants) keyed by the simulator's slab
+//!   ids. Spans buffer per in-flight entity and flush on completion; an
+//!   optional `--trace-window` ring cap bounds memory on million-request
+//!   runs. Disabled tracers cost one predictable branch per call site.
+//! * [`chrome`] — a Chrome Trace Event JSON exporter (Perfetto /
+//!   `chrome://tracing` loadable, one track per channel, die and router),
+//!   plus [`json`], a dependency-free parser used to validate emitted
+//!   files in CI.
+//! * [`EpochSeries`] — fixed-interval time-series samples (queue depths,
+//!   utilizations, credit stalls, GC and fault activity) serialized as
+//!   JSONL.
+//!
+//! # Determinism guarantee
+//!
+//! The tracer is observational only: it never pushes simulator events,
+//! draws random numbers, or alters control flow. The simulator's epoch
+//! sampler piggybacks on the event loop rather than scheduling wake-ups,
+//! so `events_delivered` — and every golden fingerprint — is bit-identical
+//! with tracing off, on, or windowed.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chrome;
+mod epoch;
+pub mod json;
+mod span;
+mod tracer;
+
+pub use epoch::EpochSeries;
+pub use span::{Class, Stage, TraceEvent, Track};
+pub use tracer::{TraceConfig, TraceSummary, Tracer};

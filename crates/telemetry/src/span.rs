@@ -1,0 +1,304 @@
+//! Span taxonomy: what a traced interval *is* and which timeline lane it
+//! belongs to.
+//!
+//! The taxonomy is deliberately decoupled from `dssd-ssd`'s `StageKind` so
+//! the tracer can sit below the simulator in the dependency graph; the
+//! simulator maps its stages onto [`Stage`] one-to-one.
+
+use dssd_kernel::{SimSpan, SimTime};
+
+/// The resource class a span spent its time on.
+///
+/// Mirrors the simulator's latency-breakdown stages exactly, so per-stage
+/// sums over a trace can be cross-checked against the run-level
+/// `StageBreakdown` aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// NAND array time (program / read / retry sense on a die).
+    FlashChip,
+    /// Flash channel bus transfer (incl. queueing at the channel).
+    FlashBus,
+    /// Shared system bus transfer (incl. queueing).
+    SystemBus,
+    /// Controller-side DRAM buffer transfer (incl. queueing).
+    Dram,
+    /// ECC decode (incl. queueing at the channel engine).
+    Ecc,
+    /// fNoC transit (or the dedicated GC bus in `dSSD_b`).
+    Noc,
+}
+
+impl Stage {
+    /// All stages, in breakdown order.
+    pub const ALL: [Stage; 6] = [
+        Stage::FlashChip,
+        Stage::FlashBus,
+        Stage::SystemBus,
+        Stage::Dram,
+        Stage::Ecc,
+        Stage::Noc,
+    ];
+
+    /// Dense index, aligned with the simulator's `StageKind::index()`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Stage::FlashChip => 0,
+            Stage::FlashBus => 1,
+            Stage::SystemBus => 2,
+            Stage::Dram => 3,
+            Stage::Ecc => 4,
+            Stage::Noc => 5,
+        }
+    }
+
+    /// Human-readable label, used as the Chrome Trace event name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::FlashChip => "flash chip",
+            Stage::FlashBus => "flash bus",
+            Stage::SystemBus => "system bus",
+            Stage::Dram => "dram",
+            Stage::Ecc => "ecc",
+            Stage::Noc => "noc",
+        }
+    }
+}
+
+/// Which traced entity class a span belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// A host I/O request.
+    Io,
+    /// A GC copyback job.
+    Gc,
+}
+
+impl Class {
+    /// Chrome Trace category string.
+    #[must_use]
+    pub fn cat(self) -> &'static str {
+        match self {
+            Class::Io => "io",
+            Class::Gc => "gc",
+        }
+    }
+}
+
+/// A timeline lane. Each variant maps to a fixed Chrome Trace
+/// (pid, tid) pair so Perfetto renders one track per physical resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// Host request lifecycles (async events keyed by request id).
+    Requests,
+    /// GC copy-job lifecycles (async events keyed by job id).
+    GcJobs,
+    /// The shared system bus.
+    SysBus,
+    /// The controller DRAM buffer.
+    Dram,
+    /// The dedicated GC bus of `dSSD_b`.
+    DedicatedBus,
+    /// Flash channel bus `ch`.
+    ChannelBus(u16),
+    /// ECC engine of channel `ch`.
+    ChannelEcc(u16),
+    /// NAND die (flat die index).
+    Die(u32),
+    /// fNoC router `node`.
+    Router(u16),
+    /// End-to-end fNoC packet transit lane.
+    NocTransit,
+    /// Injected faults / recovery instants.
+    Faults,
+    /// Simulator-level markers (GC rounds, end-of-life).
+    Sim,
+}
+
+impl Track {
+    /// Chrome Trace process id for this lane.
+    #[must_use]
+    pub fn pid(self) -> u64 {
+        match self {
+            Track::Requests => 1,
+            Track::GcJobs => 2,
+            Track::SysBus | Track::Dram | Track::DedicatedBus => 3,
+            Track::ChannelBus(_) | Track::ChannelEcc(_) => 4,
+            Track::Die(_) => 5,
+            Track::Router(_) | Track::NocTransit => 6,
+            Track::Faults | Track::Sim => 7,
+        }
+    }
+
+    /// Chrome Trace thread id for this lane (unique within its pid).
+    #[must_use]
+    pub fn tid(self) -> u64 {
+        match self {
+            Track::Requests | Track::GcJobs => 0,
+            Track::SysBus => 1,
+            Track::Dram => 2,
+            Track::DedicatedBus => 3,
+            Track::ChannelBus(ch) => u64::from(ch) * 2,
+            Track::ChannelEcc(ch) => u64::from(ch) * 2 + 1,
+            Track::Die(d) => u64::from(d),
+            Track::NocTransit => 0,
+            Track::Router(r) => u64::from(r) + 1,
+            Track::Faults => 1,
+            Track::Sim => 2,
+        }
+    }
+
+    /// Display name for the process this lane belongs to.
+    #[must_use]
+    pub fn process_name(self) -> &'static str {
+        match self.pid() {
+            1 => "host requests",
+            2 => "gc copybacks",
+            3 => "front end",
+            4 => "flash channels",
+            5 => "dies",
+            6 => "fnoc",
+            _ => "events",
+        }
+    }
+
+    /// Display name for the thread (lane) itself.
+    #[must_use]
+    pub fn thread_name(self) -> String {
+        match self {
+            Track::Requests => "requests".into(),
+            Track::GcJobs => "copy jobs".into(),
+            Track::SysBus => "system bus".into(),
+            Track::Dram => "dram".into(),
+            Track::DedicatedBus => "gc bus".into(),
+            Track::ChannelBus(ch) => format!("ch {ch} bus"),
+            Track::ChannelEcc(ch) => format!("ch {ch} ecc"),
+            Track::Die(d) => format!("die {d}"),
+            Track::Router(r) => format!("router {r}"),
+            Track::NocTransit => "transit".into(),
+            Track::Faults => "faults".into(),
+            Track::Sim => "sim".into(),
+        }
+    }
+}
+
+/// One recorded trace event.
+///
+/// Events are compact (no owned strings — names are `&'static str`) so the
+/// windowed ring buffer stays cheap for million-request runs.
+#[derive(Debug, Clone, Copy)]
+pub enum TraceEvent {
+    /// A complete slice on a resource lane (`ph:"X"`). The duration covers
+    /// queue wait *plus* service, matching how the simulator's
+    /// `StageBreakdown` attributes time, so per-stage sums cross-check.
+    Span {
+        /// Lane the slice renders on.
+        track: Track,
+        /// Resource class the slice accounts against.
+        stage: Stage,
+        /// Event name. Stage-attributed slices use [`Stage::label`];
+        /// auxiliary slices (e.g. per-hop fNoC link occupancy, which would
+        /// double-count the end-to-end transit span) use a distinct name so
+        /// name-keyed per-stage sums still cross-check exactly.
+        name: &'static str,
+        /// Entity class the slice belongs to.
+        class: Class,
+        /// Owning entity id (slab key bits).
+        id: u64,
+        /// Slice start.
+        start: SimTime,
+        /// Slice duration.
+        dur: SimSpan,
+    },
+    /// Async begin (`ph:"b"`) — opens a request/job lifecycle.
+    Begin {
+        /// Lane ([`Track::Requests`] or [`Track::GcJobs`]).
+        track: Track,
+        /// Entity class.
+        class: Class,
+        /// Entity id (slab key bits).
+        id: u64,
+        /// Lifecycle name ("read", "write", "copyback").
+        name: &'static str,
+        /// Begin time.
+        t: SimTime,
+    },
+    /// Async end (`ph:"e"`) — closes a request/job lifecycle.
+    End {
+        /// Lane ([`Track::Requests`] or [`Track::GcJobs`]).
+        track: Track,
+        /// Entity class.
+        class: Class,
+        /// Entity id (slab key bits).
+        id: u64,
+        /// Lifecycle name (matches the begin event).
+        name: &'static str,
+        /// End time.
+        t: SimTime,
+        /// Whether the entity finished in a failed state.
+        failed: bool,
+    },
+    /// Instant marker (`ph:"i"`) — faults, retries, GC round boundaries.
+    Instant {
+        /// Lane the marker renders on.
+        track: Track,
+        /// Marker name.
+        name: &'static str,
+        /// Marker time.
+        t: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// Timestamp used for window pruning.
+    #[must_use]
+    pub fn ts(&self) -> SimTime {
+        match *self {
+            TraceEvent::Span { start, .. } => start,
+            TraceEvent::Begin { t, .. }
+            | TraceEvent::End { t, .. }
+            | TraceEvent::Instant { t, .. } => t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_indices_are_dense_and_ordered() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn tracks_map_to_unique_lanes() {
+        let lanes = [
+            Track::Requests,
+            Track::GcJobs,
+            Track::SysBus,
+            Track::Dram,
+            Track::DedicatedBus,
+            Track::ChannelBus(0),
+            Track::ChannelEcc(0),
+            Track::ChannelBus(3),
+            Track::ChannelEcc(3),
+            Track::Die(0),
+            Track::Die(63),
+            Track::Router(0),
+            Track::Router(7),
+            Track::NocTransit,
+            Track::Faults,
+            Track::Sim,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for l in lanes {
+            assert!(seen.insert((l.pid(), l.tid())), "lane collision: {l:?}");
+            assert!(!l.process_name().is_empty());
+            assert!(!l.thread_name().is_empty());
+        }
+    }
+}
