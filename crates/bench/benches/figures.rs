@@ -21,7 +21,7 @@ use dssd_bench::runner::{self, BenchRecord};
 use dssd_bench::{perf_config, run_synthetic, run_trace};
 use dssd_kernel::{Rng, SimSpan, SimTime};
 use dssd_noc::traffic::{schedule, Pattern};
-use dssd_noc::{drive, Network, NocConfig, TopologyKind};
+use dssd_noc::{drive_counted, Network, NocConfig, TopologyKind};
 use dssd_reliability::{EnduranceConfig, EnduranceSim, SuperblockPolicy};
 use dssd_ssd::{Architecture, SsdConfig, SsdSim};
 use dssd_workload::{msr, AccessPattern, SyntheticWorkload};
@@ -99,13 +99,20 @@ fn main() {
         });
     }
 
-    bench(&mut records, f, "fig08_bw_sweep_point", || {
-        let mut cfg = perf_config(Architecture::DssdFnoc).with_onchip_factor(2.0);
-        cfg.gc_continuous = true;
-        let s = run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 0.0, SimSpan::from_ms(MS));
-        note_events(s.events);
-        s
-    });
+    // A/B pair: the same fNoC-heavy point with the express path on
+    // (default) and off, so `results/bench.json` records the express
+    // speedup. Both runs produce identical reports; only the wall time
+    // (and where the flit-level events are simulated) differs.
+    for (tag, express) in [("express", true), ("no_express", false)] {
+        bench(&mut records, f, &format!("fig08_bw_sweep_point/{tag}"), || {
+            let mut cfg = perf_config(Architecture::DssdFnoc).with_onchip_factor(2.0);
+            cfg.gc_continuous = true;
+            cfg.noc = cfg.noc.with_express(express);
+            let s = run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 0.0, SimSpan::from_ms(MS));
+            note_events(s.events);
+            s
+        });
+    }
 
     // The same five-architecture sweep as fig07, fanned out through the
     // parallel runner: jobs1 vs jobsN wall times in `results/bench.json`
@@ -135,14 +142,17 @@ fn main() {
         s
     });
 
-    bench(&mut records, f, "fig12_noc_bandwidth_point", || {
-        let mut cfg = perf_config(Architecture::DssdFnoc);
-        cfg.gc_continuous = true;
-        cfg.noc = cfg.noc.with_link_bandwidth(2_000_000_000);
-        let s = run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 1.0, SimSpan::from_ms(MS));
-        note_events(s.events);
-        s
-    });
+    // Same A/B pairing as fig08 (see above).
+    for (tag, express) in [("express", true), ("no_express", false)] {
+        bench(&mut records, f, &format!("fig12_noc_bandwidth_point/{tag}"), || {
+            let mut cfg = perf_config(Architecture::DssdFnoc);
+            cfg.gc_continuous = true;
+            cfg.noc = cfg.noc.with_link_bandwidth(2_000_000_000).with_express(express);
+            let s = run_synthetic(cfg, AccessPattern::Random, 8, 0.0, 1.0, SimSpan::from_ms(MS));
+            note_events(s.events);
+            s
+        });
+    }
 
     for kind in [TopologyKind::Mesh1D, TopologyKind::Ring, TopologyKind::Crossbar] {
         bench(&mut records, f, &format!("fig13_topologies/{kind:?}"), || {
@@ -157,7 +167,9 @@ fn main() {
                 &mut rng,
             );
             let mut net = Network::new(cfg);
-            drive(&mut net, pkts).len()
+            let (delivered, events) = drive_counted(&mut net, pkts);
+            note_events(events);
+            delivered.len()
         });
     }
 

@@ -8,18 +8,21 @@
 //!                     [--fault-max-retries N] [--fault-retry-success P]
 //!                     [--trace-out FILE] [--trace-window MS] [--trace-summary]
 //!                     [--epoch-out FILE] [--epoch-ms MS]
+//!                     [--progress] [--no-noc-express]
 //! dssd-cli sweep      [--arch all|dssd_f] [--factors 1.0,1.5,2.0] [--jobs N]
 //!                     [--pages 8] [--ms 5] [--seed N] [--gc-continuous]
 //!                     [--json FILE]
 //! dssd-cli trace      --volume prn_0 --arch baseline [--speedup 10] [--ms 40]
 //!                     [--trace-out FILE] [--trace-window MS] [--trace-summary]
 //!                     [--epoch-out FILE] [--epoch-ms MS]
+//!                     [--progress] [--no-noc-express]
 //! dssd-cli trace      --csv FILE --arch dssd_f [--ms 40]
 //! dssd-cli validate   --trace FILE
 //! dssd-cli endurance  [--policy recycled] [--superblocks 256] [--sigma 826.9]
 //!                     [--srt 1024] [--reserved 0.07]
 //! dssd-cli noc        [--topology mesh|ring|crossbar] [--terminals 8]
 //!                     [--pattern uniform|tornado|hotspot] [--load-mbps 150]
+//!                     [--no-noc-express]
 //! dssd-cli volumes
 //! ```
 //!
@@ -31,6 +34,13 @@
 //! p50/p99/p99.99 tables next to the `StageKind` breakdown means. Tracing
 //! never perturbs a run — the same seed produces byte-identical stdout
 //! with and without these flags (all telemetry status goes to stderr).
+//!
+//! `--progress` prints a once-per-second heartbeat (sim-time, events
+//! processed, events/sec) to stderr; stdout stays byte-identical.
+//! `--no-noc-express` disables the fNoC's contention-free express path
+//! and forces pure flit-level simulation — results are bit-identical
+//! either way, so this only matters when debugging a suspected
+//! divergence (see DESIGN.md §10).
 
 mod args;
 
@@ -101,6 +111,11 @@ fn build_config(flags: &Flags) -> Result<SsdConfig, ArgError> {
         cfg = cfg.with_onchip_factor(factor);
     }
     cfg.faults = build_faults(flags)?;
+    if flags.switch("no-noc-express") {
+        // Escape hatch for debugging suspected express-path divergence:
+        // force flit-level simulation (bit-identical, just slower).
+        cfg.noc = cfg.noc.with_express(false);
+    }
     Ok(cfg)
 }
 
@@ -320,7 +335,15 @@ fn cmd_validate(rest: &[String]) -> Result<(), ArgError> {
 fn cmd_run(rest: &[String]) -> Result<(), ArgError> {
     let flags = Flags::parse(
         rest,
-        &["dram-hit", "gc-continuous", "no-prefill", "reads", "trace-summary"],
+        &[
+            "dram-hit",
+            "gc-continuous",
+            "no-noc-express",
+            "no-prefill",
+            "progress",
+            "reads",
+            "trace-summary",
+        ],
     )?;
     let cfg = build_config(&flags)?;
     let tracing = trace_config(&flags)?;
@@ -339,6 +362,7 @@ fn cmd_run(rest: &[String]) -> Result<(), ArgError> {
         pattern
     );
     let mut sim = SsdSim::new(cfg);
+    sim.set_progress(flags.switch("progress"));
     if let Some(tc) = tracing {
         sim.enable_tracing(tc);
     }
@@ -426,7 +450,8 @@ fn cmd_sweep(rest: &[String]) -> Result<(), ArgError> {
 }
 
 fn cmd_trace(rest: &[String]) -> Result<(), ArgError> {
-    let flags = Flags::parse(rest, &["gc-continuous", "trace-summary"])?;
+    let flags =
+        Flags::parse(rest, &["gc-continuous", "no-noc-express", "progress", "trace-summary"])?;
     let mut cfg = build_config(&flags)?;
     cfg.gc_continuous = true;
     let tracing = trace_config(&flags)?;
@@ -455,6 +480,7 @@ fn cmd_trace(rest: &[String]) -> Result<(), ArgError> {
     );
     let page_bytes = cfg.geometry.page_bytes;
     let mut sim = SsdSim::new(cfg);
+    sim.set_progress(flags.switch("progress"));
     if let Some(tc) = tracing {
         sim.enable_tracing(tc);
     }
@@ -509,7 +535,7 @@ fn cmd_endurance(rest: &[String]) -> Result<(), ArgError> {
 }
 
 fn cmd_noc(rest: &[String]) -> Result<(), ArgError> {
-    let flags = Flags::parse(rest, &[])?;
+    let flags = Flags::parse(rest, &["no-noc-express"])?;
     let topology = match flags.get("topology").unwrap_or("mesh") {
         "mesh" | "mesh1d" => TopologyKind::Mesh1D,
         "ring" => TopologyKind::Ring,
@@ -528,7 +554,8 @@ fn cmd_noc(rest: &[String]) -> Result<(), ArgError> {
     let ms = flags.get_or("ms", 2u64)?;
     let config = NocConfig::new(topology, terminals)
         .with_bisection_bandwidth(flags.get_or("bisection", 2_000_000_000u64)?)
-        .with_input_buffer_flits(flags.get_or("buffer", 4usize)?);
+        .with_input_buffer_flits(flags.get_or("buffer", 4usize)?)
+        .with_express(!flags.switch("no-noc-express"));
     let mut rng = Rng::new(flags.get_or("seed", 7u64)?);
     let packets = schedule(
         terminals,

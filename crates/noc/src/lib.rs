@@ -13,7 +13,12 @@
 //!   head to tail flit),
 //! * each link serializes flits at a configurable channel bandwidth and
 //!   adds a per-hop router latency,
-//! * arbitration is round-robin across input ports.
+//! * arbitration is round-robin across input ports,
+//! * a **contention-free express path** (default on, see
+//!   [`NocConfig::with_express`]) fast-forwards packets whose route is
+//!   provably interference-free, replacing their per-flit event traffic
+//!   with one delivery event — with bit-identical results, including
+//!   under demotion when contention appears later.
 //!
 //! The network is event-driven but *passive*: it never owns the event
 //! loop. [`Network::inject`] and [`Network::handle`] return the events to
@@ -44,7 +49,7 @@ mod stats;
 mod topology;
 pub mod traffic;
 
-pub use network::{drive, Delivered, HopRecord, Network, NocEvent, Step};
+pub use network::{drive, drive_counted, Delivered, ExpressDiag, HopRecord, Network, NocEvent, Step};
 pub use packet::{Flit, FlitKind, Packet, PacketId};
 pub use stats::NocStats;
 pub use topology::{NocConfig, Topology, TopologyKind};

@@ -60,6 +60,26 @@ pub enum NocEvent {
         /// The flit.
         flit: Flit,
     },
+    /// An express-path reservation reached its (precomputed) delivery
+    /// time. Stale instances — the reservation was demoted back to
+    /// flit-level simulation, or the packet id was reused — are detected
+    /// by the nonce and ignored.
+    ExpressDone {
+        /// The reserved packet.
+        packet: PacketId,
+        /// Reservation generation, guarding against packet-id reuse.
+        nonce: u64,
+    },
+    /// An express group's composition is final (it fires one flit time
+    /// after the group's shared injection timestamp, so every
+    /// same-timestamp merge has already happened) and its joint timeline
+    /// must now be resolved. Stale instances — the group merged into a
+    /// larger one (fresh id, fresh resolve event) or was demoted before
+    /// this fired — find no group under the id and are ignored.
+    ExpressResolve {
+        /// The group to resolve.
+        group: u64,
+    },
 }
 
 /// A packet that completed delivery.
@@ -167,6 +187,175 @@ struct RouterNode {
     occ: u128,
 }
 
+/// An event in the express path's private forward-run heap, ordered like
+/// the embedder's event queue: by time, FIFO within a timestamp.
+#[derive(Debug)]
+struct FwdEv {
+    t: SimTime,
+    seq: u64,
+    ev: NocEvent,
+}
+
+impl PartialEq for FwdEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for FwdEv {}
+impl PartialOrd for FwdEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FwdEv {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.t.cmp(&self.t).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Identifies one express reservation group.
+type GroupId = u64;
+
+/// Express-path effectiveness counters ([`Network::express_diag`]).
+/// Pure diagnostics for tuning the express policy — nothing here feeds
+/// back into simulated behavior or reported stats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExpressDiag {
+    /// Packets granted express passage (solo or by merging).
+    pub granted: u64,
+    /// Group resolutions served from the timeline cache (no private run).
+    pub cache_hits: u64,
+    /// Members demoted back to flit-level simulation.
+    pub demoted: u64,
+    /// Flit-level events simulated privately by cold forward runs — the
+    /// express path's overhead (one run per *realized* group composition
+    /// with an unknown signature; resolution is deferred until the
+    /// composition is final, so merging never re-runs prefixes).
+    pub forward_pops: u64,
+    /// Flit-level events re-processed by demotion replays — overhead
+    /// paid to rewind a reservation bit-identically.
+    pub replay_pops: u64,
+}
+
+/// Per-member deferred results inside a [`GroupRes`]: everything the
+/// member's [`NocEvent::ExpressDone`] releases.
+#[derive(Debug)]
+struct MemberData {
+    /// Generation tag echoed by [`NocEvent::ExpressDone`]; reassigned
+    /// (staling the previously scheduled event) whenever a merge re-runs
+    /// the group and moves the member's delivery.
+    nonce: u64,
+    /// The precomputed delivery record.
+    delivered: Delivered,
+    /// Hop records captured by the forward run (timestamps are the true
+    /// flit-level crossing times).
+    hop_records: Vec<HopRecord>,
+    /// Deferred [`NocStats::flit_hops`] contribution.
+    flit_hops: u64,
+    /// Deferred [`NocStats::credit_stalls`] contribution, attributed to
+    /// this member's flits during the joint forward run.
+    credit_stalls: u64,
+    /// True once the member's `ExpressDone` fired and its results were
+    /// applied.
+    done: bool,
+}
+
+/// An express reservation group: one or more packets, all injected at
+/// the *same* timestamp `t0` onto routes whose claims belong exclusively
+/// to the group, whose entire flit-level lifetimes are resolved jointly.
+/// One [`NocEvent::ExpressDone`] per member stands in for the per-flit
+/// event traffic. Because every member starts at `t0` from pristine
+/// (group-exclusive) router state, the joint evolution is a pure
+/// function of the injection sequence — so resolution is *deferred*:
+/// same-timestamp merges are pure bookkeeping, and the joint timeline is
+/// computed (or cache-replayed) exactly once per realized composition
+/// when the group's [`NocEvent::ExpressResolve`] fires, one flit time
+/// after `t0`. Demotion replays the same function live up to the
+/// demotion time.
+#[derive(Debug)]
+struct GroupRes {
+    /// The shared injection timestamp.
+    t0: SimTime,
+    /// Members in global injection order (the order their flits entered
+    /// the injection buffers — arbitration-visible, so replay-critical).
+    members: Vec<(u64, Packet)>,
+    /// Parallel to `members` once resolved; empty while the group still
+    /// awaits its [`NocEvent::ExpressResolve`].
+    data: Vec<MemberData>,
+    /// Union of the members' route routers (deduplicated; segment order
+    /// matches `snapshot`).
+    route_nodes: Vec<u32>,
+    /// Pre-group `(busy, rr)` of every output port on `route_nodes`, in
+    /// node × port order — the only router state the forward run leaves
+    /// changed, restored on merge re-runs and demotion.
+    snapshot: Vec<(SimSpan, usize)>,
+    /// Flit-level events of the whole group's joint evolution (zero
+    /// until resolved).
+    fwd_pops: u64,
+    /// Members whose `ExpressDone` has not fired yet.
+    live: usize,
+}
+
+/// The time-translated joint solution of one express group, memoized by
+/// the group's flattened signature (`[record_hops, src, dst, n_flits,
+/// src, dst, n_flits, ...]` in injection order). Deterministic routing
+/// plus group-exclusive claims make the joint timeline a pure function
+/// of that signature, shifted by `t0`: `busy` is write-only during a run
+/// (pure telemetry) and `rr` only picks among occupied slots, all of
+/// which belong to the group. One machinery run per signature captures
+/// everything; later groups with the same signature fast-forward with
+/// O(route + members) arithmetic and no flit events at all.
+#[derive(Debug)]
+struct GroupTimeline {
+    /// Per-member relative results, parallel to the group's members.
+    rel: Vec<MemberRel>,
+    /// `(node, port, busy_delta, rr_after)` for every output the run
+    /// changed — the complete post-state, applied arithmetically on a
+    /// cache hit and rewound from the snapshot on demotion.
+    post: Vec<(u32, u32, SimSpan, usize)>,
+    /// Events the machinery run processed.
+    fwd_pops: u64,
+}
+
+thread_local! {
+    /// Per-thread pool of express timeline caches, keyed by network
+    /// configuration. A [`GroupTimeline`] is a pure function of
+    /// `(NocConfig, signature)` — nothing about a particular [`Network`]
+    /// instance's history enters it — so resolved timelines outlive the
+    /// network that computed them: [`Network::new`] adopts the pool's
+    /// cache for its configuration and [`Drop`] returns it. Repeated
+    /// runs of one configuration on one thread (sweeps, benchmark
+    /// iterations, A/B comparisons) thereby start warm, paying the one
+    /// private machinery run per composition once per thread instead of
+    /// once per run. Purely a speed memo: cache warmth can never change
+    /// simulated behavior.
+    static EXPRESS_CACHES: std::cell::RefCell<FxHashMap<NocConfig, FxHashMap<Vec<u32>, GroupTimeline>>> =
+        std::cell::RefCell::new(FxHashMap::default());
+}
+
+/// Upper bound on memoized timelines per configuration; past it, new
+/// compositions simply run the machinery without being memoized. Bounds
+/// pool memory on adversarially diverse traffic (real workloads settle
+/// into far fewer recurring compositions).
+const EXPRESS_CACHE_CAP: usize = 4096;
+
+/// One member's slice of a [`GroupTimeline`].
+#[derive(Debug)]
+struct MemberRel {
+    /// Delivery time offset from `t0`.
+    rel_delivered: SimSpan,
+    /// Links traversed by the member's head flit.
+    hops: u32,
+    /// `(node, at - t0, link_busy)` per captured [`HopRecord`] (empty
+    /// when hop recording was off — the signature includes that flag).
+    rel_hops: Vec<(u32, SimSpan, SimSpan)>,
+    /// [`NocStats::flit_hops`] contribution.
+    flit_hops: u64,
+    /// [`NocStats::credit_stalls`] contribution.
+    credit_stalls: u64,
+}
+
 /// The fNoC: a set of routers plus per-packet bookkeeping.
 ///
 /// See the [crate documentation](crate) for the modeling overview and an
@@ -184,6 +373,49 @@ pub struct Network {
     /// Emit [`HopRecord`]s into [`Step::hops`] (telemetry only; purely
     /// observational, never affects routing or timing).
     record_hops: bool,
+    /// Per-node count of in-flight packets whose route crosses the node.
+    /// Express legality demands exclusive ownership of *nodes*, not just
+    /// links: a foreign packet merely arbitrating at a shared router can
+    /// bump `credit_stalls` on our behalf (and vice versa), so anything
+    /// weaker than node-disjointness would skew stats.
+    node_claims: Vec<u32>,
+    /// The express group (at most one — express requires every claimant
+    /// of the node to belong to it) whose route union crosses each node.
+    /// Held until the group's last member completes or the group demotes,
+    /// so a demotion replay never touches another group's territory.
+    express_owner: Vec<Option<GroupId>>,
+    /// Live express groups.
+    express: FxHashMap<GroupId, GroupRes>,
+    /// Which express group each member packet belongs to.
+    member_of: FxHashMap<PacketId, GroupId>,
+    /// Memoized joint forward-run timelines keyed by group signature
+    /// (see [`GroupTimeline`]).
+    express_cache: FxHashMap<Vec<u32>, GroupTimeline>,
+    /// Generation counter for [`NocEvent::ExpressDone`] nonces.
+    express_nonce: u64,
+    /// Group id allocator.
+    next_gid: GroupId,
+    /// Global injection sequence number: same-timestamp injections must
+    /// replay in their original order (injection-buffer fill order is
+    /// arbitration-visible).
+    inject_seq: u64,
+    /// Flit-level events simulated privately by express forward runs —
+    /// work done that never crossed the embedder's event queue.
+    express_events: u64,
+    /// Express-path effectiveness counters (see [`ExpressDiag`]).
+    express_diag: ExpressDiag,
+    /// True while a forward run (or demotion replay) is reusing the
+    /// normal handlers: suppresses claim release in [`Self::eject`].
+    in_forward: bool,
+    /// Reusable forward-run event heap.
+    fwd_heap: std::collections::BinaryHeap<FwdEv>,
+    /// Reusable forward-run step buffer.
+    fwd_step: Step,
+    /// Per-packet `(flit_hops, credit_stalls)` attribution during a joint
+    /// forward run — splits a group run's stats across its members.
+    fwd_attr: FxHashMap<PacketId, (u64, u64)>,
+    /// Reusable route-node scratch buffer.
+    route_scratch: Vec<u32>,
 }
 
 impl Network {
@@ -245,6 +477,7 @@ impl Network {
             config.flit_bytes as u64,
             config.link_bytes_per_sec,
         );
+        let n_nodes = topology.nodes();
         Network {
             config,
             topology,
@@ -254,6 +487,28 @@ impl Network {
             stats: NocStats::default(),
             in_flight: 0,
             record_hops: false,
+            node_claims: vec![0; n_nodes],
+            express_owner: vec![None; n_nodes],
+            express: FxHashMap::default(),
+            member_of: FxHashMap::default(),
+            // Adopt the thread's memoized timelines for this exact
+            // configuration, if any (`try_with`: thread teardown may
+            // have destroyed the pool — start cold then).
+            express_cache: EXPRESS_CACHES
+                .try_with(|c| c.borrow_mut().remove(&config))
+                .ok()
+                .flatten()
+                .unwrap_or_default(),
+            express_nonce: 0,
+            next_gid: 0,
+            inject_seq: 0,
+            express_events: 0,
+            express_diag: ExpressDiag::default(),
+            in_forward: false,
+            fwd_heap: std::collections::BinaryHeap::new(),
+            fwd_step: Step::default(),
+            fwd_attr: FxHashMap::default(),
+            route_scratch: Vec::new(),
         }
     }
 
@@ -388,6 +643,25 @@ impl Network {
             "destination {} is not a terminal",
             packet.dst
         );
+        let mut route = std::mem::take(&mut self.route_scratch);
+        self.collect_route_nodes(packet.src, packet.dst, &mut route);
+
+        // An express group granted at an *earlier* timestamp that shares a
+        // node with our route must fall back to flit-level simulation
+        // before we disturb that node. Same-timestamp groups are left
+        // standing for now: if we qualify, we merge into them instead.
+        let mergeable = self.config.express && self.flit_ser > self.config.router_latency;
+        loop {
+            let victim = route.iter().find_map(|&nd| {
+                self.express_owner[nd as usize]
+                    .filter(|g| !mergeable || self.express[g].t0 != now)
+            });
+            match victim {
+                Some(gid) => self.demote_group(now, gid, step),
+                None => break,
+            }
+        }
+
         let n = flit_count(packet.bytes, self.config.header_bytes, self.config.flit_bytes);
         let prev = self.packets.insert(
             packet.id,
@@ -401,10 +675,55 @@ impl Network {
         assert!(prev.is_none(), "packet id {} already in flight", packet.id);
         self.in_flight += 1;
         self.stats.injected += 1;
+        let seq = self.inject_seq;
+        self.inject_seq += 1;
+        for &nd in &route {
+            self.node_claims[nd as usize] += 1;
+        }
 
-        // Flits enter the local input port (port 0), VC 0. The injection
-        // buffer is unbounded: back-pressure is applied by the network,
-        // not the NI.
+        // Express eligibility: the flit serialization time strictly
+        // exceeds the router latency (⇒ a tail ejection is provably the
+        // last event of its packet's lifetime, so one `ExpressDone` at
+        // that time covers everything), and every node on the route is
+        // either unclaimed by anyone else (claim count exactly 1 ⇒ the
+        // node's buffers, credits and output allocations are all
+        // pristine) or claimed exclusively by an express group granted at
+        // *this* timestamp — which we then merge into, because a group of
+        // same-timestamp packets also starts from pristine state and its
+        // joint evolution is just as deterministic.
+        let eligible = mergeable
+            && route.iter().all(|&nd| {
+                self.express_owner[nd as usize].is_some()
+                    || self.node_claims[nd as usize] == 1
+            });
+        if eligible {
+            self.express_grant(now, seq, packet, &route, step);
+            route.clear();
+            self.route_scratch = route;
+            return;
+        }
+
+        // Flit-level injection: any same-timestamp group we overlap but
+        // could not merge into (some other node of our route is contested)
+        // still loses its exclusivity and must demote.
+        loop {
+            let victim = route.iter().find_map(|&nd| self.express_owner[nd as usize]);
+            match victim {
+                Some(gid) => self.demote_group(now, gid, step),
+                None => break,
+            }
+        }
+        route.clear();
+        self.route_scratch = route;
+
+        self.fill_injection_buffer(packet, n);
+        self.try_node(now, packet.src, step);
+    }
+
+    /// Pushes all `n` flits of `packet` into its source injection buffer
+    /// (local input port 0, VC 0). The injection buffer is unbounded:
+    /// back-pressure is applied by the network, not the NI.
+    fn fill_injection_buffer(&mut self, packet: Packet, n: u32) {
         let node_r = &mut self.nodes[packet.src];
         let buf = &mut node_r.inputs[0].vcs[0];
         for i in 0..n {
@@ -415,7 +734,506 @@ impl Network {
             });
         }
         node_r.occ |= 1; // injection slot: in_port 0, VC 0
-        self.try_node(now, packet.src, step);
+    }
+
+    /// Every router on the `src → dst` route, source and destination
+    /// inclusive, in traversal order.
+    fn collect_route_nodes(&self, src: usize, dst: usize, out: &mut Vec<u32>) {
+        out.clear();
+        let mut node = src;
+        loop {
+            out.push(node as u32);
+            let port = self.topology.route(node, dst);
+            match self.topology.output(node, port) {
+                PortLink::Local => break,
+                PortLink::Link { peer, .. } => node = peer,
+            }
+        }
+    }
+
+    /// Grants a packet express passage with *deferred* resolution: the
+    /// membership, route ownership and `t0` snapshot are recorded, and a
+    /// [`NocEvent::ExpressResolve`] is scheduled one flit time after
+    /// `now` — strictly after every same-timestamp injection (so the
+    /// group's composition is final when it fires) yet provably before
+    /// any member can deliver (a delivery needs at least one link
+    /// crossing plus an ejection: more than two flit times past `t0`).
+    ///
+    /// If the route overlaps express groups granted at this same
+    /// timestamp, the packet merges with them: the union starts from
+    /// pristine state at one instant, so the joint evolution — including
+    /// every cross-member arbitration and stall — is still a pure
+    /// function of the injection sequence. Because nothing has been
+    /// simulated yet, the merge is pure bookkeeping (union the member
+    /// lists and territory, mint a fresh group id; the absorbed groups'
+    /// resolve events find no group and die). The joint timeline is
+    /// computed once per *realized* composition at resolve time
+    /// ([`Self::express_resolve`]), never once per prefix as members
+    /// trickle in.
+    fn express_grant(
+        &mut self,
+        now: SimTime,
+        seq: u64,
+        packet: Packet,
+        route: &[u32],
+        step: &mut Step,
+    ) {
+        self.express_diag.granted += 1;
+        // The same-timestamp groups we merge with: the distinct owners
+        // along the route (`inject_into` demoted every other owner).
+        let mut gids: Vec<GroupId> = Vec::new();
+        for &nd in route {
+            if let Some(g) = self.express_owner[nd as usize] {
+                if !gids.contains(&g) {
+                    gids.push(g);
+                }
+            }
+        }
+        // Union the absorbed groups. They are mutually node-disjoint
+        // (each was exclusive), so their snapshot segments concatenate
+        // without conflict, and — resolution being deferred — none of
+        // them has touched any router state yet: every segment still
+        // holds the pristine `t0` values.
+        let mut members: Vec<(u64, Packet)> = Vec::new();
+        let mut route_nodes: Vec<u32> = Vec::new();
+        let mut snapshot: Vec<(SimSpan, usize)> = Vec::new();
+        for gid in &gids {
+            let gr = self.express.remove(gid).expect("merging a missing group");
+            debug_assert_eq!(gr.t0, now);
+            debug_assert!(gr.data.is_empty(), "same-timestamp group already resolved");
+            for &nd in &gr.route_nodes {
+                self.express_owner[nd as usize] = None;
+            }
+            members.extend_from_slice(&gr.members);
+            route_nodes.extend_from_slice(&gr.route_nodes);
+            snapshot.extend_from_slice(&gr.snapshot);
+        }
+        // Global injection order — injection-buffer fill order is
+        // arbitration-visible, so the replay must reproduce it.
+        members.push((seq, packet));
+        members.sort_unstable_by_key(|&(s, _)| s);
+        // Nodes only we cross are pristine (claim count 1): their current
+        // `(busy, rr)` is the `t0` snapshot.
+        for &nd in route {
+            if !route_nodes.contains(&nd) {
+                route_nodes.push(nd);
+                for out in &self.nodes[nd as usize].outputs {
+                    snapshot.push((out.busy, out.rr));
+                }
+            }
+        }
+        let gid = self.next_gid;
+        self.next_gid += 1;
+        for (_, p) in &members {
+            self.member_of.insert(p.id, gid);
+        }
+        for &nd in &route_nodes {
+            self.express_owner[nd as usize] = Some(gid);
+        }
+        step.schedule.push((now + self.flit_ser, NocEvent::ExpressResolve { group: gid }));
+        let live = members.len();
+        self.express.insert(
+            gid,
+            GroupRes {
+                t0: now,
+                members,
+                data: Vec::new(),
+                route_nodes,
+                snapshot,
+                fwd_pops: 0,
+                live,
+            },
+        );
+    }
+
+    /// Resolves an express group's joint timeline once its composition is
+    /// final: looks the signature up in the memo cache (fast-forwarding
+    /// arithmetically on a hit — O(route + members) state updates, no
+    /// flit events at all) or runs the real machinery privately once
+    /// ([`Self::run_group_forward`]) and memoizes the time-translated
+    /// result. Either way the route union is left pristine except for the
+    /// `(busy, rr)` the group advanced, which the snapshot lets a
+    /// demotion rewind, and one [`NocEvent::ExpressDone`] per member is
+    /// scheduled at its computed delivery time. Stats are deferred and
+    /// only applied as each member's `ExpressDone` fires (a demotion
+    /// discards them and regenerates them live instead).
+    ///
+    /// A stale group id — the group merged into a larger one or was
+    /// demoted before the resolve event arrived — is a no-op.
+    fn express_resolve(&mut self, now: SimTime, gid: GroupId, step: &mut Step) {
+        let Some(mut group) = self.express.remove(&gid) else { return };
+        debug_assert!(group.data.is_empty(), "express group resolved twice");
+        debug_assert_eq!(now, group.t0 + self.flit_ser);
+        let mut sig: Vec<u32> = Vec::with_capacity(1 + group.members.len() * 3);
+        sig.push(u32::from(self.record_hops));
+        for (_, p) in &group.members {
+            sig.push(p.src as u32);
+            sig.push(p.dst as u32);
+            sig.push(flit_count(p.bytes, self.config.header_bytes, self.config.flit_bytes));
+        }
+        let (fwd_pops, mut data) = if let Some(tl) = self.express_cache.get(sig.as_slice()) {
+            self.express_diag.cache_hits += 1;
+            // Cache hit: the whole joint cascade is known by time
+            // translation. Apply the post-state the machinery would have
+            // left (`busy` advanced, `rr` parked after the last granted
+            // slot) and mint every member's delivery/hop records at their
+            // translated times.
+            let post = tl.post.clone();
+            let data = Self::materialize_members(group.t0, &group.members, &tl.rel);
+            let pops = tl.fwd_pops;
+            for (nd, port, busy_delta, rr_after) in post {
+                let out = &mut self.nodes[nd as usize].outputs[port as usize];
+                out.busy += busy_delta;
+                out.rr = rr_after;
+            }
+            (pops, data)
+        } else {
+            // Cold signature: run the real machinery privately once over
+            // the whole group.
+            let tl = self.run_group_forward(
+                group.t0,
+                &group.members,
+                &group.route_nodes,
+                &group.snapshot,
+            );
+            let data = Self::materialize_members(group.t0, &group.members, &tl.rel);
+            let pops = tl.fwd_pops;
+            if self.express_cache.len() < EXPRESS_CACHE_CAP {
+                self.express_cache.insert(sig, tl);
+            }
+            (pops, data)
+        };
+        for ((_, p), md) in group.members.iter().zip(data.iter_mut()) {
+            md.nonce = self.express_nonce;
+            self.express_nonce += 1;
+            // `>=` — equality only for a single-flit packet ejecting at
+            // its own source (one NI serialization, no link): its done
+            // event lands later in this same timestamp, which is legal.
+            debug_assert!(md.delivered.at >= now, "express delivery before its resolve");
+            step.schedule
+                .push((md.delivered.at, NocEvent::ExpressDone { packet: p.id, nonce: md.nonce }));
+        }
+        self.express_events += fwd_pops;
+        group.fwd_pops = fwd_pops;
+        group.data = data;
+        self.express.insert(gid, group);
+    }
+
+    /// Turns a [`GroupTimeline`]'s relative member results into absolute
+    /// [`MemberData`] anchored at `now` (nonces are assigned by the
+    /// caller).
+    fn materialize_members(
+        now: SimTime,
+        members: &[(u64, Packet)],
+        rel: &[MemberRel],
+    ) -> Vec<MemberData> {
+        members
+            .iter()
+            .zip(rel)
+            .map(|((_, p), r)| MemberData {
+                nonce: 0,
+                delivered: Delivered {
+                    packet: *p,
+                    at: now + r.rel_delivered,
+                    hops: r.hops,
+                    injected_at: now,
+                },
+                hop_records: r
+                    .rel_hops
+                    .iter()
+                    .map(|&(node, rel_at, link_busy)| HopRecord {
+                        packet: p.id,
+                        node,
+                        at: now + rel_at,
+                        link_busy,
+                    })
+                    .collect(),
+                flit_hops: r.flit_hops,
+                credit_stalls: r.credit_stalls,
+                done: false,
+            })
+            .collect()
+    }
+
+    /// Runs the real arbitration/credit machinery privately over a whole
+    /// same-timestamp group from its pristine `t0` state — bit-identical
+    /// to the flit-level world by construction, including every self- and
+    /// cross-member stall — and returns the time-translated joint
+    /// timeline. Leaves the routers with the run's post-state applied
+    /// (`busy`/`rr` advanced, everything else back to pristine) and the
+    /// member packets re-registered as logically in flight.
+    fn run_group_forward(
+        &mut self,
+        now: SimTime,
+        members: &[(u64, Packet)],
+        route_nodes: &[u32],
+        snapshot: &[(SimSpan, usize)],
+    ) -> GroupTimeline {
+        let mut scratch = NocStats::default();
+        std::mem::swap(&mut self.stats, &mut scratch);
+        self.in_forward = true;
+        self.fwd_attr.clear();
+
+        let mut heap = std::mem::take(&mut self.fwd_heap);
+        let mut fwd = std::mem::take(&mut self.fwd_step);
+        debug_assert!(heap.is_empty() && fwd.schedule.is_empty());
+        let mut seq = 0u64;
+        let mut pops = 0u64;
+        let mut hops = Vec::new();
+        let mut delivered = Vec::new();
+        for (_, p) in members {
+            let n = flit_count(p.bytes, self.config.header_bytes, self.config.flit_bytes);
+            self.fill_injection_buffer(*p, n);
+            self.try_node(now, p.src, &mut fwd);
+            for (t, e) in fwd.schedule.drain(..) {
+                heap.push(FwdEv { t, seq, ev: e });
+                seq += 1;
+            }
+            hops.append(&mut fwd.hops);
+        }
+        while let Some(FwdEv { t, ev, .. }) = heap.pop() {
+            pops += 1;
+            self.handle_into(t, ev, &mut fwd);
+            for (t, e) in fwd.schedule.drain(..) {
+                heap.push(FwdEv { t, seq, ev: e });
+                seq += 1;
+            }
+            hops.append(&mut fwd.hops);
+            delivered.append(&mut fwd.delivered);
+        }
+        self.in_forward = false;
+        std::mem::swap(&mut self.stats, &mut scratch);
+        self.fwd_heap = heap;
+        self.fwd_step = fwd;
+        self.express_diag.forward_pops += pops;
+
+        // The forward run's tail ejections removed the members; they are
+        // still logically in flight until their `ExpressDone`s.
+        for (_, p) in members {
+            let n = flit_count(p.bytes, self.config.header_bytes, self.config.flit_bytes);
+            self.packets.insert(
+                p.id,
+                PacketState { packet: *p, injected_at: now, flits_remaining: n, hops: 0 },
+            );
+        }
+        self.in_flight += members.len();
+
+        let rel: Vec<MemberRel> = members
+            .iter()
+            .map(|(_, p)| {
+                let d = delivered
+                    .iter()
+                    .find(|d| d.packet.id == p.id)
+                    .expect("group forward run did not deliver a member");
+                let (flit_hops, credit_stalls) =
+                    self.fwd_attr.get(&p.id).copied().unwrap_or((0, 0));
+                MemberRel {
+                    rel_delivered: d.at - now,
+                    hops: d.hops,
+                    rel_hops: hops
+                        .iter()
+                        .filter(|h| h.packet == p.id)
+                        .map(|h| (h.node, h.at - now, h.link_busy))
+                        .collect(),
+                    flit_hops,
+                    credit_stalls,
+                }
+            })
+            .collect();
+        debug_assert_eq!(rel.iter().map(|r| r.flit_hops).sum::<u64>(), scratch.flit_hops);
+        debug_assert_eq!(
+            rel.iter().map(|r| r.credit_stalls).sum::<u64>(),
+            scratch.credit_stalls
+        );
+
+        // Memoize the time-translated result. An output's `busy` moved
+        // iff the run granted on it, and a granted output's final `rr` is
+        // arbitration-determined, so the diff against the snapshot is the
+        // complete post-state for any pre-state (`busy` is telemetry-only
+        // and `rr` only ever selects among the group's own flits).
+        let mut post = Vec::new();
+        let mut i = 0;
+        for &nd in route_nodes {
+            for (port, out) in self.nodes[nd as usize].outputs.iter().enumerate() {
+                let (busy0, _) = snapshot[i];
+                i += 1;
+                if out.busy != busy0 {
+                    post.push((nd, port as u32, out.busy - busy0, out.rr));
+                }
+            }
+        }
+        GroupTimeline { rel, post, fwd_pops: pops }
+    }
+
+    /// Demotes an express group back to live flit-level simulation:
+    /// rewinds the route union to its pre-group state, then re-runs the
+    /// (deterministic) joint forward simulation up to — strictly before —
+    /// `now`, leaving the routers exactly as the flit-level world would
+    /// have them. Events falling at or after `now` are handed to the
+    /// embedder to be processed live. Live members' deferred stats are
+    /// discarded (the replay and the live remainder regenerate them);
+    /// already-completed members replay too (their flits shaped the
+    /// survivors' timing), but their contributions — applied in full at
+    /// their `ExpressDone` — are subtracted back out.
+    fn demote_group(&mut self, now: SimTime, gid: GroupId, step: &mut Step) {
+        let group = self.express.remove(&gid).expect("demoting a missing group");
+        self.express_diag.demoted += group.live as u64;
+        for &nd in &group.route_nodes {
+            self.express_owner[nd as usize] = None;
+        }
+        let mut i = 0;
+        for &nd in &group.route_nodes {
+            for out in &mut self.nodes[nd as usize].outputs {
+                (out.busy, out.rr) = group.snapshot[i];
+                i += 1;
+            }
+        }
+        let t0 = group.t0;
+        let mut done_ids: Vec<PacketId> = Vec::new();
+        let mut dup_hops = 0u64;
+        let mut dup_stalls = 0u64;
+        for (_, p) in &group.members {
+            self.member_of.remove(&p.id);
+        }
+        // `data` is empty (no member can be done) when the demotion beat
+        // the group's resolve event — composition bookkeeping is all that
+        // ever happened, so the replay below starts from scratch.
+        for ((_, p), md) in group.members.iter().zip(&group.data) {
+            if md.done {
+                // Re-register completed members for the replay and release
+                // the claims their completion left with the group.
+                done_ids.push(p.id);
+                dup_hops += md.flit_hops;
+                dup_stalls += md.credit_stalls;
+                let n = flit_count(p.bytes, self.config.header_bytes, self.config.flit_bytes);
+                self.packets.insert(
+                    p.id,
+                    PacketState { packet: *p, injected_at: t0, flits_remaining: n, hops: 0 },
+                );
+                self.in_flight += 1;
+                let mut route = std::mem::take(&mut self.route_scratch);
+                self.collect_route_nodes(p.src, p.dst, &mut route);
+                for &nd in &route {
+                    self.node_claims[nd as usize] -= 1;
+                }
+                route.clear();
+                self.route_scratch = route;
+            } else {
+                debug_assert!(md.delivered.at >= now, "demotion after a live member's delivery");
+            }
+        }
+
+        let mut scratch = NocStats::default();
+        std::mem::swap(&mut self.stats, &mut scratch);
+        self.in_forward = true;
+        let mut heap = std::mem::take(&mut self.fwd_heap);
+        let mut fwd = std::mem::take(&mut self.fwd_step);
+        let mut seq = 0u64;
+        let mut replayed = 0u64;
+        for (_, p) in &group.members {
+            let n = flit_count(p.bytes, self.config.header_bytes, self.config.flit_bytes);
+            self.fill_injection_buffer(*p, n);
+            self.try_node(t0, p.src, &mut fwd);
+            for (t, e) in fwd.schedule.drain(..) {
+                heap.push(FwdEv { t, seq, ev: e });
+                seq += 1;
+            }
+        }
+        while let Some(FwdEv { t, ev, .. }) = heap.pop() {
+            // A completed member's `ExpressDone` can precede the demotion
+            // within one timestamp; its final ejection then falls exactly
+            // at `now` and must replay here (its delivery was already
+            // emitted), never run live.
+            let replay = t < now
+                || matches!(ev, NocEvent::Eject { flit, .. } if done_ids.contains(&flit.packet));
+            if replay {
+                replayed += 1;
+                self.handle_into(t, ev, &mut fwd);
+                for (t, e) in fwd.schedule.drain(..) {
+                    heap.push(FwdEv { t, seq, ev: e });
+                    seq += 1;
+                }
+            } else {
+                // Not processed here: the embedder pops it live.
+                step.schedule.push((t, ev));
+            }
+        }
+        self.in_forward = false;
+        std::mem::swap(&mut self.stats, &mut scratch);
+        // The replay regenerated every member's pre-`now` stats; completed
+        // members' were already applied at their `ExpressDone` (in full —
+        // all their grants precede `now`), so only the difference belongs
+        // to the real counters.
+        self.stats.flit_hops += scratch.flit_hops - dup_hops;
+        self.stats.credit_stalls += scratch.credit_stalls - dup_stalls;
+        debug_assert!(
+            fwd.delivered.iter().all(|d| done_ids.contains(&d.packet.id)),
+            "live member completed during demotion replay"
+        );
+        fwd.delivered.clear();
+        // Hop records regenerated by the replay are exactly the crossings
+        // that already happened (at < now); later ones will be emitted
+        // live. Live members' were never emitted while the reservation
+        // stood; completed members' were emitted at their `ExpressDone`.
+        if done_ids.is_empty() {
+            step.hops.append(&mut fwd.hops);
+        } else {
+            step.hops.extend(fwd.hops.drain(..).filter(|h| !done_ids.contains(&h.packet)));
+        }
+        self.fwd_heap = heap;
+        self.fwd_step = fwd;
+        self.express_diag.replay_pops += replayed;
+        // The replayed events were processed privately in place of
+        // embedder events; everything past `now` runs through the
+        // embedder's queue instead (spawning its successors there). For a
+        // resolved group this nets out to dropping the un-replayed share
+        // of its counted `fwd_pops`; for an unresolved one (`fwd_pops`
+        // zero — nothing was ever counted) it credits the replay itself.
+        self.express_events += replayed;
+        self.express_events -= group.fwd_pops;
+    }
+
+    /// Demotes every express group whose route union shares a router with
+    /// the `src → dst` route. Observably neutral — demotion never changes
+    /// delivery times or stats, only how they are computed — so embedders
+    /// use this to force worst-case flit-level simulation around injected
+    /// faults (a degraded region must not stay fast-forwarded).
+    pub fn demote_overlapping(
+        &mut self,
+        now: SimTime,
+        src: usize,
+        dst: usize,
+        step: &mut Step,
+    ) {
+        let mut route = std::mem::take(&mut self.route_scratch);
+        self.collect_route_nodes(src, dst, &mut route);
+        loop {
+            let victim = route.iter().find_map(|&nd| self.express_owner[nd as usize]);
+            match victim {
+                Some(gid) => self.demote_group(now, gid, step),
+                None => break,
+            }
+        }
+        route.clear();
+        self.route_scratch = route;
+    }
+
+    /// Flit-level events the express path simulated privately instead of
+    /// routing through the embedder's event queue — add this to an
+    /// embedder event count to keep "events processed" comparable whether
+    /// the express path is on or off.
+    #[must_use]
+    pub fn express_events(&self) -> u64 {
+        self.express_events
+    }
+
+    /// Express-path effectiveness counters. Diagnostics only — never
+    /// part of a [`RunReport`]-visible quantity.
+    ///
+    /// [`RunReport`]: NocStats
+    #[must_use]
+    pub fn express_diag(&self) -> ExpressDiag {
+        self.express_diag
     }
 
     /// Advances the network by one event.
@@ -464,6 +1282,59 @@ impl Network {
             NocEvent::Eject { node, flit } => {
                 self.eject(now, node as usize, flit, step);
             }
+            NocEvent::ExpressResolve { group } => {
+                self.express_resolve(now, group, step);
+            }
+            NocEvent::ExpressDone { packet, nonce } => {
+                // Stale if the group was demoted (or the packet id reused
+                // by a later injection) — the membership lookup fails — or
+                // if a merge re-ran the group and moved this member's
+                // delivery — the nonce mismatches. Either way: no-op.
+                let Some(&gid) = self.member_of.get(&packet) else { return };
+                let group = self.express.get_mut(&gid).expect("member of a missing group");
+                let idx = group
+                    .members
+                    .iter()
+                    .position(|(_, p)| p.id == packet)
+                    .expect("member list out of sync");
+                if group.data[idx].done || group.data[idx].nonce != nonce {
+                    return;
+                }
+                group.data[idx].done = true;
+                group.live -= 1;
+                let delivered = group.data[idx].delivered;
+                let flit_hops = group.data[idx].flit_hops;
+                let credit_stalls = group.data[idx].credit_stalls;
+                let hop_records = std::mem::take(&mut group.data[idx].hop_records);
+                let group_done = group.live == 0;
+                self.member_of.remove(&packet);
+                self.packets.remove(&packet);
+                self.in_flight -= 1;
+                if group_done {
+                    // Claims and ownership are group-scoped — a demotion
+                    // must replay on territory nothing else has claimed —
+                    // so the last completion releases every member's.
+                    let group = self.express.remove(&gid).unwrap();
+                    for &nd in &group.route_nodes {
+                        self.express_owner[nd as usize] = None;
+                    }
+                    let mut route = std::mem::take(&mut self.route_scratch);
+                    for (_, p) in &group.members {
+                        self.collect_route_nodes(p.src, p.dst, &mut route);
+                        for &nd in &route {
+                            self.node_claims[nd as usize] -= 1;
+                        }
+                    }
+                    route.clear();
+                    self.route_scratch = route;
+                }
+                debug_assert_eq!(delivered.at, now);
+                self.stats.flit_hops += flit_hops;
+                self.stats.credit_stalls += credit_stalls;
+                self.stats.record_delivery(&delivered);
+                step.hops.extend_from_slice(&hop_records);
+                step.delivered.push(delivered);
+            }
         }
     }
 
@@ -476,6 +1347,17 @@ impl Network {
         if state.flits_remaining == 0 {
             let state = self.packets.remove(&flit.packet).unwrap();
             self.in_flight -= 1;
+            if !self.in_forward {
+                // Release the route claims taken at injection (express
+                // forward runs keep theirs until `ExpressDone`).
+                let mut route = std::mem::take(&mut self.route_scratch);
+                self.collect_route_nodes(state.packet.src, state.packet.dst, &mut route);
+                for &nd in &route {
+                    self.node_claims[nd as usize] -= 1;
+                }
+                route.clear();
+                self.route_scratch = route;
+            }
             let d = Delivered {
                 packet: state.packet,
                 at: now,
@@ -556,6 +1438,9 @@ impl Network {
                         chosen = Some((ip, vc, ovc));
                     } else {
                         self.stats.credit_stalls += 1;
+                        if self.in_forward {
+                            self.fwd_attr.entry(front.packet).or_default().1 += 1;
+                        }
                     }
                 }
                 Some(_) => {}
@@ -572,6 +1457,9 @@ impl Network {
                             chosen = Some((ip, vc, ovc));
                         } else {
                             self.stats.credit_stalls += 1;
+                            if self.in_forward {
+                                self.fwd_attr.entry(front.packet).or_default().1 += 1;
+                            }
                         }
                     }
                 }
@@ -624,6 +1512,9 @@ impl Network {
         step.schedule
             .push((now + ser, NocEvent::OutputFree { node: node as u32, out_port: out as u32 }));
         self.stats.flit_hops += 1;
+        if self.in_forward {
+            self.fwd_attr.entry(flit.packet).or_default().0 += 1;
+        }
 
         match self.nodes[node].outputs[out].link {
             PortLink::Local => {
@@ -664,6 +1555,27 @@ impl Network {
     }
 }
 
+impl Drop for Network {
+    /// Returns the memoized express timelines to the thread's pool (see
+    /// [`EXPRESS_CACHES`]) so the next network with this configuration
+    /// starts warm. When the pool already holds a cache for the
+    /// configuration (two networks alive at once), the larger one wins.
+    fn drop(&mut self) {
+        if self.express_cache.is_empty() {
+            return;
+        }
+        let cache = std::mem::take(&mut self.express_cache);
+        let config = self.config;
+        let _ = EXPRESS_CACHES.try_with(|c| {
+            let mut pool = c.borrow_mut();
+            let slot = pool.entry(config).or_default();
+            if slot.len() < cache.len() {
+                *slot = cache;
+            }
+        });
+    }
+}
+
 /// Runs a self-contained simulation: injects `packets` at their times and
 /// processes events until the network drains. Returns deliveries in
 /// completion order.
@@ -671,11 +1583,23 @@ impl Network {
 /// This helper is for standalone NoC studies and tests; the SSD simulator
 /// embeds [`Network`] in its own event loop instead.
 pub fn drive(net: &mut Network, packets: Vec<(SimTime, Packet)>) -> Vec<Delivered> {
+    drive_counted(net, packets).0
+}
+
+/// [`drive`], also returning the number of events processed — queue pops
+/// plus the flit-level events express forward runs simulated privately
+/// ([`Network::express_events`]), so the count measures the same logical
+/// work whether the express path is on or off.
+pub fn drive_counted(
+    net: &mut Network,
+    packets: Vec<(SimTime, Packet)>,
+) -> (Vec<Delivered>, u64) {
     #[derive(Debug)]
     enum Ev {
         Inject(Packet),
         Noc(NocEvent),
     }
+    let express_before = net.express_events();
     let mut queue: EventQueue<Ev> = EventQueue::new();
     for (t, p) in packets {
         queue.push(t, Ev::Inject(p));
@@ -691,7 +1615,8 @@ pub fn drive(net: &mut Network, packets: Vec<(SimTime, Packet)>) -> Vec<Delivere
             queue.push(t, Ev::Noc(e));
         }
     }
-    out
+    let events = queue.delivered() + (net.express_events() - express_before);
+    (out, events)
 }
 
 #[cfg(test)]
@@ -909,6 +1834,180 @@ mod tests {
         let peak = net.max_link_utilization(elapsed);
         assert!(peak > 0.5, "tornado must load the bisection: {peak}");
         assert!(peak <= 1.0 + 1e-9);
+    }
+
+    /// Runs one workload and snapshots everything observable: the full
+    /// delivery timeline, all stats counters, and every output's busy
+    /// span. Deliveries are sorted by id because completion *order*
+    /// within one timestamp may differ between express and flit-level
+    /// runs (the timestamps themselves may not).
+    #[allow(clippy::type_complexity)]
+    fn observable_run(
+        kind: TopologyKind,
+        bw: u64,
+        pattern: Pattern,
+        seed: u64,
+        express: bool,
+    ) -> (Vec<(u64, u64, u32, u64)>, (u64, u64, u64, u64, u64, u64), u64, Vec<u64>) {
+        let c = cfg(kind, 8).with_link_bandwidth(bw).with_express(express);
+        let mut rng = Rng::new(seed);
+        let pkts = schedule(8, pattern, 40_000_000, 4096, SimSpan::from_us(300), &mut rng);
+        let mut net = Network::new(c);
+        let got = drive(&mut net, pkts);
+        assert!(net.is_idle());
+        let mut deliv: Vec<_> = got
+            .iter()
+            .map(|d| (d.packet.id, d.at.as_ns(), d.hops, d.injected_at.as_ns()))
+            .collect();
+        deliv.sort_unstable();
+        let s = net.stats();
+        let stats = (
+            s.injected,
+            s.delivered,
+            s.bytes_delivered,
+            s.flit_hops,
+            s.total_hops,
+            s.credit_stalls,
+        );
+        let lat = s.mean_latency().as_ns();
+        let t = net.topology();
+        let mut busy = Vec::new();
+        for n in 0..t.nodes() {
+            for p in 0..t.ports(n) {
+                busy.push(net.link_busy(n, p).as_ns());
+            }
+        }
+        (deliv, stats, lat, busy)
+    }
+
+    #[test]
+    fn express_is_bit_identical_to_flit_level() {
+        // The differential oracle: over randomized topologies, loads and
+        // seeds, the express path must reproduce the flit-level world's
+        // delivery timeline, credit-stall count and link-busy spans
+        // exactly. Light load keeps most packets express; heavy load
+        // (relative to the link rate) forces constant demotion.
+        for kind in [
+            TopologyKind::Mesh1D,
+            TopologyKind::Ring,
+            TopologyKind::Crossbar,
+            TopologyKind::Mesh2D { cols: 4 },
+        ] {
+            for bw in [1_000_000_000, 120_000_000] {
+                for (pattern, seed) in
+                    [(Pattern::UniformRandom, 21), (Pattern::Tornado, 22), (Pattern::Hotspot, 23)]
+                {
+                    let on = observable_run(kind, bw, pattern, seed, true);
+                    let off = observable_run(kind, bw, pattern, seed, false);
+                    assert_eq!(on, off, "{kind:?} bw={bw} {pattern:?} diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn express_collapses_embedder_event_count_when_uncontended() {
+        let mut net = Network::new(cfg(TopologyKind::Mesh1D, 8));
+        let (got, events) =
+            drive_counted(&mut net, vec![(SimTime::ZERO, Packet::new(0, 0, 7, 4096))]);
+        assert_eq!(got.len(), 1);
+        // The forward run did all the flit-level work privately ...
+        assert!(net.express_events() > 1000, "express never engaged");
+        // ... so the embedder queue saw only the injection, the
+        // ExpressResolve and the ExpressDone.
+        assert!(events - net.express_events() <= 3, "express leaked events");
+    }
+
+    #[test]
+    fn drive_counted_reports_comparable_work_in_both_modes() {
+        // The counted events must measure the same logical work whether
+        // packets ride express, are demoted half-way, or never qualify.
+        let run = |express: bool| {
+            let mut rng = Rng::new(77);
+            let pkts = schedule(8, Pattern::UniformRandom, 120_000_000, 4096,
+                                SimSpan::from_us(200), &mut rng);
+            let mut net =
+                Network::new(cfg(TopologyKind::Mesh1D, 8).with_express(express));
+            drive_counted(&mut net, pkts).1
+        };
+        let (on, off) = (run(true), run(false));
+        let ratio = on as f64 / off as f64;
+        assert!((0.9..1.1).contains(&ratio), "event accounting skewed: {on} vs {off}");
+    }
+
+    #[test]
+    fn forced_demotions_do_not_double_count_credit_stalls() {
+        // A same-flow burst demotes every standing reservation (each new
+        // packet shares the whole route); with tiny buffers the flow also
+        // self-stalls constantly. The demotion replay must regenerate —
+        // not double-apply — those stalls.
+        let run = |express: bool| {
+            let c = cfg(TopologyKind::Mesh1D, 8)
+                .with_input_buffer_flits(2)
+                .with_express(express);
+            let mut net = Network::new(c);
+            let pkts: Vec<_> = (0..40)
+                .map(|i| (SimTime::from_ns(i * 700), Packet::new(i, 0, 7, 4096)))
+                .collect();
+            let got = drive(&mut net, pkts);
+            let ends: Vec<u64> = got.iter().map(|d| d.at.as_ns()).collect();
+            (ends, net.stats().credit_stalls, net.stats().flit_hops)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn express_preserves_link_busy_and_peak_utilization() {
+        // Satellite coverage: Fig 12's saturation mechanism reads
+        // link_busy / max_link_utilization, so the express path must
+        // account serialization time on exactly the same links.
+        let run = |express: bool| {
+            let c = cfg(TopologyKind::Mesh1D, 8)
+                .with_link_bandwidth(400_000_000)
+                .with_express(express);
+            let mut rng = Rng::new(4);
+            let pkts = schedule(8, Pattern::Tornado, 100_000_000, 4096,
+                                SimSpan::from_ms(1), &mut rng);
+            let mut net = Network::new(c);
+            let got = drive(&mut net, pkts);
+            let end = got.iter().map(|d| d.at).max().unwrap();
+            let busy: Vec<u64> = (0..8)
+                .flat_map(|n| (0..3).map(move |p| (n, p)))
+                .map(|(n, p)| net.link_busy(n, p).as_ns())
+                .collect();
+            (busy, (net.max_link_utilization(end - SimTime::ZERO) * 1e12) as u64)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn fault_demotion_hook_is_observably_neutral() {
+        // demote_overlapping is what the SSD simulator calls on an
+        // injected fNoC fault: it must revert reservations to flit-level
+        // without changing anything observable.
+        let run = |poke: bool| {
+            let mut net = Network::new(cfg(TopologyKind::Mesh1D, 8));
+            let mut queue: EventQueue<NocEvent> = EventQueue::new();
+            let mut step = Step::default();
+            net.inject_into(SimTime::ZERO, Packet::new(1, 0, 7, 4096), &mut step);
+            if poke {
+                // Mid-flight fault on an overlapping route.
+                net.demote_overlapping(SimTime::from_ns(500), 2, 5, &mut step);
+            }
+            let mut delivered = Vec::new();
+            loop {
+                delivered.append(&mut step.delivered);
+                for (t, e) in step.schedule.drain(..) {
+                    queue.push(t, e);
+                }
+                let Some((t, e)) = queue.pop() else { break };
+                net.handle_into(t, e, &mut step);
+            }
+            assert!(net.is_idle());
+            let d: Vec<_> = delivered.iter().map(|d| (d.packet.id, d.at.as_ns(), d.hops)).collect();
+            (d, net.stats().flit_hops, net.stats().credit_stalls)
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

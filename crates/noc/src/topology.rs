@@ -313,7 +313,7 @@ impl Topology {
 ///     .with_input_buffer_flits(8);
 /// assert_eq!(cfg.terminals, 8);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NocConfig {
     /// Interconnect shape.
     pub topology: TopologyKind,
@@ -330,6 +330,12 @@ pub struct NocConfig {
     pub router_latency: SimSpan,
     /// Input buffer capacity per port, in flits.
     pub input_buffer_flits: usize,
+    /// Enable the contention-free express path (default on). When a
+    /// packet's whole route is provably free of interference, the network
+    /// fast-forwards it with a single delivery event instead of per-flit
+    /// router events; results are bit-identical either way, so this only
+    /// exists as a debugging escape hatch (`--no-noc-express`).
+    pub express: bool,
 }
 
 impl NocConfig {
@@ -346,6 +352,7 @@ impl NocConfig {
             link_bytes_per_sec: 1_000_000_000,
             router_latency: SimSpan::from_ns(2),
             input_buffer_flits: 4,
+            express: true,
         }
     }
 
@@ -383,6 +390,13 @@ impl NocConfig {
     #[must_use]
     pub fn with_router_latency(mut self, latency: SimSpan) -> Self {
         self.router_latency = latency;
+        self
+    }
+
+    /// Enables or disables the contention-free express path.
+    #[must_use]
+    pub fn with_express(mut self, on: bool) -> Self {
+        self.express = on;
         self
     }
 }

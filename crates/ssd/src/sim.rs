@@ -275,6 +275,52 @@ pub struct SsdSim {
     /// Epoch time-series probe; piggybacks on the event loop (no queue
     /// events of its own) so `events_delivered` stays bit-identical.
     epoch: Option<EpochProbe>,
+    /// Emit a wall-clock-throttled heartbeat to stderr while the event
+    /// loop runs (`--progress`). Stdout and the simulation are untouched.
+    progress: bool,
+}
+
+/// Stderr heartbeat state for [`SsdSim::set_progress`]: reports sim-time,
+/// events processed and the recent events/sec rate about once per second
+/// of wall time. Checking the wall clock is itself throttled so the hot
+/// loop only pays an increment-and-compare per event.
+#[derive(Debug)]
+struct ProgressMeter {
+    last: std::time::Instant,
+    last_events: u64,
+    ticks: u32,
+}
+
+impl ProgressMeter {
+    /// Events between wall-clock checks.
+    const CHECK_EVERY: u32 = 1 << 16;
+
+    fn new() -> Self {
+        ProgressMeter { last: std::time::Instant::now(), last_events: 0, ticks: 0 }
+    }
+
+    fn tick(&mut self, sim_now: SimTime, events: impl FnOnce() -> u64) {
+        self.ticks += 1;
+        if self.ticks < Self::CHECK_EVERY {
+            return;
+        }
+        self.ticks = 0;
+        let now = std::time::Instant::now();
+        let wall = now - self.last;
+        if wall < std::time::Duration::from_secs(1) {
+            return;
+        }
+        let events = events();
+        let rate = (events - self.last_events) as f64 / wall.as_secs_f64();
+        eprintln!(
+            "[progress] sim {:>10.3} ms | {:>12} events | {:>7.2} M events/s",
+            sim_now.as_ns() as f64 / 1e6,
+            events,
+            rate / 1e6,
+        );
+        self.last = now;
+        self.last_events = events;
+    }
 }
 
 /// Fixed-interval sampling state for the telemetry epoch time-series.
@@ -485,7 +531,15 @@ impl SsdSim {
             prefilled: false,
             tracer: Tracer::disabled(),
             epoch: None,
+            progress: false,
         }
+    }
+
+    /// Enables the stderr progress heartbeat (sim-time, events processed,
+    /// events/sec, about once per wall-clock second). Observational only:
+    /// it writes nothing to stdout and cannot perturb the simulation.
+    pub fn set_progress(&mut self, on: bool) {
+        self.progress = on;
     }
 
     /// The configuration.
@@ -590,6 +644,13 @@ impl SsdSim {
         self.noc.as_ref().map_or(String::new(), |n| n.debug_state())
     }
 
+    /// The embedded fNoC, when this architecture has one. Read-only:
+    /// for stats and diagnostics (e.g. [`Network::express_diag`]).
+    #[must_use]
+    pub fn noc(&self) -> Option<&Network> {
+        self.noc.as_ref()
+    }
+
     // ------------------------------------------------------------------
     // Telemetry
     // ------------------------------------------------------------------
@@ -631,6 +692,7 @@ impl SsdSim {
         if let Some(was) = self.config.was_scan {
             self.queue.push(SimTime::ZERO + was.interval, Ev::ScanTick);
         }
+        let mut progress = self.progress.then(ProgressMeter::new);
         while let Some((t, ev)) = self.queue.pop() {
             if t > self.horizon {
                 break;
@@ -641,13 +703,21 @@ impl SsdSim {
             if self.epoch.is_some() {
                 self.sample_epochs_until(t);
             }
+            if let Some(p) = progress.as_mut() {
+                let (queue, noc) = (&self.queue, self.noc.as_ref());
+                p.tick(t, || queue.delivered() + noc.map_or(0, |n| n.express_events()));
+            }
             self.now = t;
             self.handle(ev);
         }
         if self.epoch.is_some() {
             self.sample_epochs_until(self.horizon);
         }
-        self.report.events_delivered = self.queue.delivered();
+        // Queue pops, plus the flit-level events the NoC express path
+        // simulated privately — so "events processed" measures the same
+        // logical work with the express path on or off.
+        self.report.events_delivered = self.queue.delivered()
+            + self.noc.as_ref().map_or(0, |n| n.express_events());
     }
 
     fn handle(&mut self, ev: Ev) {
@@ -1273,6 +1343,19 @@ impl SsdSim {
                         // and is re-injected after the configured delay.
                         self.tracer.instant(Track::Faults, "noc degrade", self.now);
                         self.report.faults.noc_faults += 1;
+                        // The degraded region must not stay fast-forwarded:
+                        // any express reservation crossing the affected
+                        // route reverts to flit-level simulation
+                        // (observably neutral — timings are unchanged).
+                        let mut step = std::mem::take(&mut self.noc_step);
+                        self.noc.as_mut().expect("dSSD_f has a NoC").demote_overlapping(
+                            self.now,
+                            src_ch as usize,
+                            dst_ch as usize,
+                            &mut step,
+                        );
+                        self.absorb_noc(&mut step);
+                        self.noc_step = step;
                         let at = self.now + self.config.faults.noc_degrade_latency;
                         self.queue.push(at, Ev::NocRetry { pkt: Box::new(pkt) });
                         continue;

@@ -112,6 +112,35 @@ fn bit_identical_to_pre_optimization_simulator_reads() {
     }
 }
 
+/// The fNoC express path (contention-free packet fast-forwarding) must be
+/// invisible in every RunReport: each architecture's fingerprint with the
+/// express path disabled must byte-match the default (express-on) run —
+/// including under fault injection, where an injected NoC fault demotes
+/// standing express reservations mid-flight.
+#[test]
+fn noc_express_path_is_bit_identical_to_flit_level() {
+    for arch in Architecture::all() {
+        let run = |express: bool| {
+            let mut cfg = SsdConfig::test_tiny(arch);
+            cfg.gc_continuous = true;
+            cfg.noc = cfg.noc.with_express(express);
+            fingerprint(SsdSim::new(cfg), false, 10)
+        };
+        assert_eq!(run(true), run(false), "{}: express path diverged", arch.label());
+    }
+
+    let mut f = FaultConfig::none();
+    f.noc_degrade_prob = 0.05;
+    let run = |express: bool| {
+        let mut cfg = SsdConfig::test_tiny(Architecture::DssdFnoc);
+        cfg.gc_continuous = true;
+        cfg.faults = f;
+        cfg.noc = cfg.noc.with_express(express);
+        fingerprint(SsdSim::new(cfg), false, 10)
+    };
+    assert_eq!(run(true), run(false), "dSSD_f: express path diverged under NoC faults");
+}
+
 /// Fault-injection and SRT-remap paths exercise the slab churn (retries,
 /// re-allocations, retirement) and the dense remap table.
 #[test]
