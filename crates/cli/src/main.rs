@@ -6,6 +6,10 @@
 //!                     [--fault-read-transient P] [--fault-read-hard P]
 //!                     [--fault-program P] [--fault-erase P] [--fault-noc P]
 //!                     [--fault-max-retries N] [--fault-retry-success P]
+//!                     [--durable] [--journal-entries N] [--ckpt-interval-pages N]
+//!                     [--power-loss-ms MS] [--power-loss-event N]
+//!                     [--power-loss-mttf-ms MS]
+//!                     [--snapshot-at-ms MS] [--snapshot-out FILE] [--resume FILE]
 //!                     [--trace-out FILE] [--trace-window MS] [--trace-summary]
 //!                     [--epoch-out FILE] [--epoch-ms MS]
 //!                     [--progress] [--no-noc-express]
@@ -17,9 +21,13 @@
 //!                     [--epoch-out FILE] [--epoch-ms MS]
 //!                     [--progress] [--no-noc-express]
 //! dssd-cli trace      --csv FILE --arch dssd_f [--ms 40]
-//! dssd-cli validate   --trace FILE
+//! dssd-cli validate   [--trace FILE] [--epochs FILE]
+//! dssd-cli crashpoints [--arch dssd_f] [--pages 8] [--ms 2] [--stride 500]
+//!                     [--seeds 1,2,3] [--journal-entries N]
+//!                     [--ckpt-interval-pages N]
 //! dssd-cli endurance  [--policy recycled] [--superblocks 256] [--sigma 826.9]
-//!                     [--srt 1024] [--reserved 0.07]
+//!                     [--srt 1024] [--reserved 0.07] [--journal-entries N]
+//!                     [--ckpt-interval-pages N] [--power-loss-fills F]
 //! dssd-cli noc        [--topology mesh|ring|crossbar] [--terminals 8]
 //!                     [--pattern uniform|tornado|hotspot] [--load-mbps 150]
 //!                     [--no-noc-express]
@@ -34,6 +42,20 @@
 //! p50/p99/p99.99 tables next to the `StageKind` breakdown means. Tracing
 //! never perturbs a run — the same seed produces byte-identical stdout
 //! with and without these flags (all telemetry status goes to stderr).
+//!
+//! Durability flags (`run`): `--durable` turns on the FTL metadata
+//! durability model (OOB P2L, mapping journal, periodic checkpoints —
+//! charged as real flash traffic); `--power-loss-ms`/`--power-loss-event`
+//! cut power at a simulated instant or event ordinal, and
+//! `--power-loss-mttf-ms` draws the loss instant from a dedicated
+//! exponential stream; the report then includes the mount/recovery audit.
+//! `--snapshot-at-ms` pauses the run mid-flight, writes a replay-cursor
+//! snapshot (`--snapshot-out`, default `dssd.snap`), and continues;
+//! `--resume FILE` rebuilds that paused state (pass the *same* run flags)
+//! and finishes the run — stdout is byte-identical to the uninterrupted
+//! run. `crashpoints` forks a running sim at every k-th event, forces
+//! power loss on each fork, and verifies both crash-consistency
+//! invariants (no acknowledged write lost, no trimmed data resurrected).
 //!
 //! `--progress` prints a once-per-second heartbeat (sim-time, events
 //! processed, events/sec) to stderr; stdout stays byte-identical.
@@ -51,13 +73,18 @@ use dssd_bench::runner::{self, run_sweep, BenchRecord, SweepPoint};
 use dssd_kernel::{Rng, SimSpan};
 use dssd_noc::traffic::{schedule, Pattern};
 use dssd_noc::{drive, Network, NocConfig, TopologyKind};
-use dssd_reliability::{EnduranceConfig, EnduranceSim, SuperblockPolicy};
-use dssd_ssd::{Architecture, FaultConfig, SsdConfig, SsdSim, StageKind, TraceConfig};
-use dssd_telemetry::json::validate_chrome_trace;
+use dssd_ftl::MetaConfig;
+use dssd_kernel::SimTime;
+use dssd_reliability::{CrashpointConfig, EnduranceConfig, EnduranceSim, SuperblockPolicy};
+use dssd_ssd::{
+    Architecture, DurabilityConfig, FaultConfig, PowerLossConfig, RunPlan, SimSnapshot,
+    SsdConfig, SsdSim, StageKind, TraceConfig,
+};
+use dssd_telemetry::json::{validate_chrome_trace, validate_epoch_jsonl};
 use dssd_telemetry::{chrome, Class, Stage};
 use dssd_workload::{msr, AccessPattern, SyntheticWorkload, Trace};
 
-const USAGE: &str = "usage: dssd-cli <run|sweep|trace|validate|endurance|noc|volumes> [--flags]
+const USAGE: &str = "usage: dssd-cli <run|sweep|trace|validate|crashpoints|endurance|noc|volumes> [--flags]
 run 'dssd-cli <command> --help' is not needed: every flag has a default;
 see the crate docs (or the source header) for the full flag list.";
 
@@ -72,6 +99,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(rest),
         "trace" => cmd_trace(rest),
         "validate" => cmd_validate(rest),
+        "crashpoints" => cmd_crashpoints(rest),
         "endurance" => cmd_endurance(rest),
         "noc" => cmd_noc(rest),
         "volumes" => cmd_volumes(),
@@ -111,12 +139,44 @@ fn build_config(flags: &Flags) -> Result<SsdConfig, ArgError> {
         cfg = cfg.with_onchip_factor(factor);
     }
     cfg.faults = build_faults(flags)?;
+    build_durability(flags, &mut cfg)?;
     if flags.switch("no-noc-express") {
         // Escape hatch for debugging suspected express-path divergence:
         // force flit-level simulation (bit-identical, just slower).
         cfg.noc = cfg.noc.with_express(false);
     }
     Ok(cfg)
+}
+
+/// Parses the durability and power-loss flags. Any of them implies
+/// `--durable`; with none given the config is untouched, so default runs
+/// stay bit-identical to the pre-durability simulator.
+fn build_durability(flags: &Flags, cfg: &mut SsdConfig) -> Result<(), ArgError> {
+    let wants = flags.switch("durable")
+        || ["journal-entries", "ckpt-interval-pages", "power-loss-ms", "power-loss-event",
+            "power-loss-mttf-ms"]
+        .iter()
+        .any(|k| flags.get(k).is_some());
+    if !wants {
+        return Ok(());
+    }
+    let mut d = DurabilityConfig::default();
+    d.journal_entries_per_page = flags.get_or("journal-entries", d.journal_entries_per_page)?;
+    d.checkpoint_interval_pages =
+        flags.get_or("ckpt-interval-pages", d.checkpoint_interval_pages)?;
+    cfg.durability = Some(d);
+    let mut pl = PowerLossConfig::none();
+    let at_ms = flags.get_or("power-loss-ms", 0.0f64)?;
+    if at_ms > 0.0 {
+        pl.at = SimTime::ZERO + SimSpan::from_ns((at_ms * 1e6) as u64);
+    }
+    pl.at_event = flags.get_or("power-loss-event", 0u64)?;
+    let mttf_ms = flags.get_or("power-loss-mttf-ms", 0.0f64)?;
+    if mttf_ms > 0.0 {
+        pl.mean_time_to_loss = SimSpan::from_ns((mttf_ms * 1e6) as u64);
+    }
+    cfg.power_loss = pl;
+    Ok(())
 }
 
 fn build_faults(flags: &Flags) -> Result<FaultConfig, ArgError> {
@@ -152,6 +212,41 @@ fn print_report(sim: &mut SsdSim) {
     );
     if let Some(eol) = r.end_of_life {
         println!("END OF LIFE at {:.1} ms", eol.as_ms_f64());
+    }
+    if let Some(m) = sim.meta_stats() {
+        println!();
+        println!("durability model:");
+        println!(
+            "  journal        {} pages flushed ({} entries)",
+            m.journal_pages, m.journal_entries
+        );
+        println!(
+            "  checkpoints    {} taken ({} flash pages)",
+            m.checkpoints, m.checkpoint_pages
+        );
+    }
+    if let Some(rec) = r.recovery {
+        println!();
+        println!("POWER LOSS at {:.3} ms:", rec.power_loss_at.as_ms_f64());
+        println!("  requests torn     {}", rec.requests_torn);
+        println!("  page programs torn {}", rec.torn_pages);
+        println!(
+            "  mount scan        {} ckpt + {} journal + {} oob pages",
+            rec.checkpoint_pages, rec.journal_pages_replayed, rec.oob_pages_scanned
+        );
+        println!("  journal entries   {} replayed", rec.journal_entries_replayed);
+        println!("  recovery time     {}", rec.recovery_time);
+        println!(
+            "  invariants        {}",
+            if rec.invariants_hold() {
+                "OK (no acked write lost, no trim resurrected)".to_string()
+            } else {
+                format!(
+                    "VIOLATED ({} acked writes lost, {} trims resurrected)",
+                    rec.lost_acked_writes, rec.resurrected_trims
+                )
+            }
+        );
     }
     let c = r.faults;
     if c != Default::default() {
@@ -313,23 +408,112 @@ fn print_trace_summary(sim: &mut SsdSim) {
     }
 }
 
-/// `validate` — parse a Chrome Trace JSON file and check it against the
-/// Trace Event schema (the same validator the test suite uses). CI runs
-/// this on freshly exported traces.
+/// `validate` — check exported telemetry against its schema (the same
+/// validators the test suite uses). `--trace FILE` checks a Chrome Trace
+/// JSON document; `--epochs FILE` checks an epoch time-series JSONL
+/// export (flat numeric objects, uniform columns, strictly increasing
+/// `t_ms`). CI runs both on freshly exported files.
 fn cmd_validate(rest: &[String]) -> Result<(), ArgError> {
     let flags = Flags::parse(rest, &[])?;
-    let path = flags
-        .get("trace")
-        .ok_or_else(|| ArgError("validate needs --trace FILE".into()))?;
-    let doc = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
-    let stats = validate_chrome_trace(&doc)
-        .map_err(|e| ArgError(format!("{path}: invalid trace: {e}")))?;
-    println!(
-        "{path}: valid ({} events: {} slices, {} async, {} instants, {} metadata)",
-        stats.events, stats.spans, stats.asyncs, stats.instants, stats.metadata
-    );
+    if flags.get("trace").is_none() && flags.get("epochs").is_none() {
+        return Err(ArgError("validate needs --trace FILE and/or --epochs FILE".into()));
+    }
+    if let Some(path) = flags.get("trace") {
+        let doc = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+        let stats = validate_chrome_trace(&doc)
+            .map_err(|e| ArgError(format!("{path}: invalid trace: {e}")))?;
+        println!(
+            "{path}: valid ({} events: {} slices, {} async, {} instants, {} metadata)",
+            stats.events, stats.spans, stats.asyncs, stats.instants, stats.metadata
+        );
+    }
+    if let Some(path) = flags.get("epochs") {
+        let doc = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+        let stats = validate_epoch_jsonl(&doc)
+            .map_err(|e| ArgError(format!("{path}: invalid epoch series: {e}")))?;
+        println!(
+            "{path}: valid ({} samples, {} columns, monotonic t_ms)",
+            stats.rows, stats.columns
+        );
+    }
     Ok(())
+}
+
+/// `crashpoints` — the dhara-style crash-consistency sweep: step a mother
+/// run, fork it every `--stride` events, force power loss on the fork,
+/// and verify the mount recovers with both invariants intact. Exits
+/// non-zero on any violation.
+fn cmd_crashpoints(rest: &[String]) -> Result<(), ArgError> {
+    let flags = Flags::parse(rest, &["gc-continuous", "no-noc-express"])?;
+    let mut base = build_config(&flags)?;
+    if base.durability.is_none() {
+        base.durability = Some(DurabilityConfig::default());
+    }
+    base.power_loss = PowerLossConfig::none();
+    let pages = flags.get_or("pages", 8u32)?;
+    let ms = flags.get_or("ms", 2u64)?;
+    let stride = flags.get_or("stride", 500u64)?;
+    if stride == 0 {
+        return Err(ArgError("--stride must be >= 1".into()));
+    }
+    let seeds: Vec<u64> = match flags.get("seeds") {
+        None => vec![1, 2, 3],
+        Some(list) => list
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .map_err(|_| ArgError(format!("--seeds: cannot parse `{t}`")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let config = CrashpointConfig {
+        workload: SyntheticWorkload::writes(AccessPattern::Random, pages).with_queue_depth(64),
+        duration: SimSpan::from_ms(ms),
+        stride,
+        seeds,
+        base,
+    };
+    println!(
+        "crashpoint sweep on {}: {} ms, every {} events, seeds {:?}",
+        config.base.architecture.label(),
+        ms,
+        stride,
+        config.seeds
+    );
+    let report = dssd_reliability::sweep(&config);
+    println!("crashpoints    {}", report.points);
+    println!("requests torn  {}", report.requests_torn);
+    println!("programs torn  {}", report.torn_pages);
+    println!("mount reads    {} pages", report.pages_read);
+    println!(
+        "recovery time  mean {} / max {}",
+        report.mean_recovery(),
+        report.max_recovery
+    );
+    if report.passed() {
+        println!("invariants     OK across all {} points", report.points);
+        Ok(())
+    } else {
+        for v in &report.violations {
+            eprintln!(
+                "VIOLATION seed {} event {} at {:.3} ms: {} acked writes lost, \
+                 {} trims resurrected",
+                v.seed,
+                v.events,
+                v.at.as_ms_f64(),
+                v.lost_acked_writes,
+                v.resurrected_trims
+            );
+        }
+        Err(ArgError(format!(
+            "{} of {} crashpoints violated recovery invariants",
+            report.violations.len(),
+            report.points
+        )))
+    }
 }
 
 fn cmd_run(rest: &[String]) -> Result<(), ArgError> {
@@ -337,6 +521,7 @@ fn cmd_run(rest: &[String]) -> Result<(), ArgError> {
         rest,
         &[
             "dram-hit",
+            "durable",
             "gc-continuous",
             "no-noc-express",
             "no-prefill",
@@ -361,19 +546,59 @@ fn cmd_run(rest: &[String]) -> Result<(), ArgError> {
         cfg.architecture.label(),
         pattern
     );
-    let mut sim = SsdSim::new(cfg);
-    sim.set_progress(flags.switch("progress"));
-    if let Some(tc) = tracing {
-        sim.enable_tracing(tc);
-    }
-    if !flags.switch("no-prefill") {
-        sim.prefill();
-    }
     let mut wl = SyntheticWorkload::mixed(pattern, pages, read_fraction).with_queue_depth(qd);
     if flags.switch("dram-hit") {
         wl = wl.with_dram_hit_fraction(1.0);
     }
-    sim.run_closed_loop(wl, SimSpan::from_ms(ms));
+    let duration = SimSpan::from_ms(ms);
+    let plan = RunPlan { workload: wl.clone(), duration };
+    let mut sim = if let Some(path) = flags.get("resume") {
+        // Rebuild the snapshotted state by deterministic replay; the
+        // remaining flags must match the snapshotting invocation.
+        let bytes =
+            std::fs::read(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+        let snap = SimSnapshot::from_bytes(&bytes)
+            .map_err(|e| ArgError(format!("{path}: {e}")))?;
+        let mut sim = snap.restore(cfg, &plan).map_err(|e| ArgError(format!("{path}: {e}")))?;
+        eprintln!(
+            "resumed {} events ({:.3} ms) from {path}",
+            snap.cursor(),
+            snap.taken_at().as_ms_f64()
+        );
+        sim.set_progress(flags.switch("progress"));
+        sim
+    } else {
+        let mut sim = SsdSim::new(cfg);
+        sim.set_progress(flags.switch("progress"));
+        if let Some(tc) = tracing {
+            sim.enable_tracing(tc);
+        }
+        if !flags.switch("no-prefill") {
+            sim.prefill();
+        }
+        sim.begin_closed_loop(wl, duration);
+        let snap_ms = flags.get_or("snapshot-at-ms", 0.0f64)?;
+        if snap_ms > 0.0 {
+            let at = SimTime::ZERO + SimSpan::from_ns((snap_ms * 1e6) as u64);
+            sim.run_until(at);
+            if sim.halted() {
+                eprintln!("snapshot skipped: power loss struck before {snap_ms} ms");
+            } else {
+                let snap = SimSnapshot::capture(&sim, &plan);
+                let path = flags.get("snapshot-out").unwrap_or("dssd.snap");
+                std::fs::write(path, snap.to_bytes())
+                    .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+                eprintln!(
+                    "snapshot: {} events ({:.3} ms) to {path}",
+                    snap.cursor(),
+                    snap.taken_at().as_ms_f64()
+                );
+            }
+        }
+        sim
+    };
+    sim.run_events(u64::MAX);
+    sim.finish_run();
     print_report(&mut sim);
     write_trace_outputs(&mut sim, &flags)?;
     Ok(())
@@ -503,6 +728,18 @@ fn cmd_endurance(rest: &[String]) -> Result<(), ArgError> {
     cfg.srt_entries = flags.get_or("srt", cfg.srt_entries)?;
     cfg.reserved_fraction = flags.get_or("reserved", cfg.reserved_fraction)?;
     cfg.seed = flags.get_or("seed", cfg.seed)?;
+    // Metadata-journal accounting and power-loss injection: any of the
+    // three flags arms the journal model.
+    let journal_entries = flags.get_or("journal-entries", 0u32)?;
+    let ckpt_interval = flags.get_or("ckpt-interval-pages", 0u64)?;
+    cfg.mean_fills_between_power_loss = flags.get_or("power-loss-fills", 0.0f64)?;
+    if journal_entries > 0 || ckpt_interval > 0 || cfg.mean_fills_between_power_loss > 0.0 {
+        cfg.journal = Some(MetaConfig {
+            journal_entries_per_page: if journal_entries > 0 { journal_entries } else { 256 },
+            checkpoint_interval_pages: ckpt_interval,
+            page_bytes: cfg.page_bytes,
+        });
+    }
     let policies: Vec<SuperblockPolicy> = match flags.get("policy") {
         None | Some("all") => SuperblockPolicy::all().to_vec(),
         Some("baseline") => vec![SuperblockPolicy::Baseline],
@@ -530,6 +767,22 @@ fn cmd_endurance(rest: &[String]) -> Result<(), ArgError> {
             tb(r.total_written),
             r.remap_events,
         );
+        if cfg.journal.is_some() {
+            let replay_max = r
+                .power_loss_points
+                .iter()
+                .map(|p| p.journal_pages_replayed)
+                .max()
+                .unwrap_or(0);
+            println!(
+                "          {} power losses, {} journal + {} ckpt pages, \
+                 worst mount replays {} pages",
+                r.power_loss_points.len(),
+                r.journal_pages,
+                r.checkpoint_pages,
+                replay_max,
+            );
+        }
     }
     Ok(())
 }

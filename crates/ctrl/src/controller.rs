@@ -25,7 +25,7 @@ use crate::{
 /// ctrl.queue_mut().retire(cmd);
 /// ctrl.dbuf_mut().release();
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DecoupledController {
     queue: CommandQueue,
     ecc: EccEngine,

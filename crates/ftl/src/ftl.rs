@@ -3,9 +3,10 @@
 use std::collections::VecDeque;
 
 use dssd_flash::{FlashGeometry, PageAddr};
-use dssd_kernel::Rng;
+use dssd_kernel::{Rng, SimTime};
 
 use crate::alloc::ActiveSuperblock;
+use crate::meta::{MetaConfig, MetaIo, MetaState, MetaStats, RecoveryOutcome};
 use crate::{AllocGroup, CopyGroup, GcPolicy, GcRound, Lpn, MappingTable, SuperblockLayout};
 
 /// FTL configuration.
@@ -67,7 +68,7 @@ pub struct FtlStats {
 /// assert_eq!(groups.iter().map(|g| g.len()).sum::<usize>(), 3);
 /// assert!(ftl.translate(1).is_some());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Ftl {
     layout: SuperblockLayout,
     map: MappingTable,
@@ -78,6 +79,10 @@ pub struct Ftl {
     active_gc: ActiveSuperblock,
     config: FtlConfig,
     stats: FtlStats,
+    /// Optional crash-consistency metadata model (OOB / journal /
+    /// checkpoints). `None` keeps every hot path bit-identical to the
+    /// pre-durability FTL.
+    meta: Option<MetaState>,
 }
 
 impl Ftl {
@@ -119,7 +124,111 @@ impl Ftl {
             retired: Vec::new(),
             config,
             stats: FtlStats::default(),
+            meta: None,
         }
+    }
+
+    /// Enables the crash-consistency metadata model. Must run before any
+    /// write so versions cover the whole device history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pages were already written.
+    pub fn enable_meta(&mut self, config: MetaConfig) {
+        assert_eq!(self.stats.host_pages_written, 0, "enable_meta before first write");
+        let total = self.layout.geometry().total_pages();
+        self.meta = Some(MetaState::new(config, self.map.lpn_count(), total));
+    }
+
+    /// The metadata durability model, if enabled.
+    #[must_use]
+    pub fn meta(&self) -> Option<&MetaState> {
+        self.meta.as_ref()
+    }
+
+    /// Durability-model activity counters, if the model is enabled.
+    #[must_use]
+    pub fn meta_stats(&self) -> Option<MetaStats> {
+        self.meta.as_ref().map(MetaState::stats)
+    }
+
+    /// Takes the mount baseline (checkpoint 0 over the current —
+    /// typically prefilled — mapping). No-op when the model is disabled
+    /// or the baseline is already in place.
+    pub fn meta_mount_baseline(&mut self) {
+        if let Some(meta) = &mut self.meta {
+            if !meta.baseline_done() {
+                meta.mount_baseline(&self.map);
+            }
+        }
+    }
+
+    /// Tickets issued by [`Ftl::write_pages`] since the last drain, in
+    /// allocation-group order. Empty when the model is disabled.
+    pub fn meta_drain_tickets(&mut self) -> Vec<u32> {
+        self.meta.as_mut().map(MetaState::drain_tickets).unwrap_or_default()
+    }
+
+    /// Reports that the program behind `ticket` completed at `at`.
+    pub fn meta_mark_programmed(&mut self, ticket: u32, at: SimTime) {
+        if let Some(meta) = &mut self.meta {
+            meta.mark_programmed(ticket, at);
+        }
+    }
+
+    /// Reports that the program behind `ticket` failed (torn page).
+    pub fn meta_mark_torn(&mut self, ticket: u32) {
+        if let Some(meta) = &mut self.meta {
+            meta.mark_torn(ticket);
+        }
+    }
+
+    /// Acknowledges the request that owned `ticket` (host completion).
+    pub fn meta_ack(&mut self, ticket: u32) {
+        if let Some(meta) = &mut self.meta {
+            meta.ack(ticket);
+        }
+    }
+
+    /// Retires `ticket` without acknowledgement (request failed).
+    pub fn meta_discard(&mut self, ticket: u32) {
+        if let Some(meta) = &mut self.meta {
+            meta.discard(ticket);
+        }
+    }
+
+    /// Pending metadata I/O (journal flushes, checkpoints) for the
+    /// simulator to charge as flash traffic.
+    pub fn meta_take_io(&mut self) -> Vec<MetaIo> {
+        self.meta.as_mut().map(MetaState::take_io).unwrap_or_default()
+    }
+
+    /// Captures the content of a dequeued [`MetaIo::Checkpoint`].
+    pub fn meta_begin_checkpoint(&mut self) {
+        if let Some(meta) = &mut self.meta {
+            meta.begin_checkpoint(&self.map);
+        }
+    }
+
+    /// Reports the completion time of journal flush `page`.
+    pub fn meta_journal_durable(&mut self, page: u64, at: SimTime) {
+        if let Some(meta) = &mut self.meta {
+            meta.journal_durable(page, at);
+        }
+    }
+
+    /// Reports the completion time of the in-flight checkpoint.
+    pub fn meta_checkpoint_durable(&mut self, at: SimTime) {
+        if let Some(meta) = &mut self.meta {
+            meta.checkpoint_durable(at);
+        }
+    }
+
+    /// Simulates a post-power-loss mount at `t_loss` (see
+    /// [`MetaState::recover`]). `None` when the model is disabled.
+    #[must_use]
+    pub fn meta_recover(&self, t_loss: SimTime) -> Option<RecoveryOutcome> {
+        self.meta.as_ref().map(|m| m.recover(t_loss))
     }
 
     /// The superblock layout.
@@ -216,6 +325,15 @@ impl Ftl {
             for (lpn, addr) in rest.iter().zip(&group.addrs) {
                 let ppn = self.layout.geometry().page_index(*addr);
                 self.map.map_write(*lpn, ppn);
+            }
+            if let Some(meta) = &mut self.meta {
+                let geo = self.layout.geometry();
+                let pairs: Vec<(Lpn, u64)> = rest
+                    .iter()
+                    .zip(&group.addrs)
+                    .map(|(lpn, addr)| (*lpn, geo.page_index(*addr)))
+                    .collect();
+                meta.note_host_writes(&pairs);
             }
             self.stats.host_pages_written += group.len() as u64;
             rest = &rest[group.len()..];
@@ -316,14 +434,22 @@ impl Ftl {
     /// Completes one GC page copy; returns `false` (and counts it) if the
     /// copy arrived stale because the host overwrote the LPN in flight.
     pub fn complete_copy(&mut self, lpn: Lpn, src: PageAddr, dst: PageAddr) -> bool {
+        self.complete_copy_at(lpn, src, dst, SimTime::ZERO)
+    }
+
+    /// [`Ftl::complete_copy`] with the simulated completion instant, so
+    /// the durability model can stamp the destination page's OOB.
+    pub fn complete_copy_at(&mut self, lpn: Lpn, src: PageAddr, dst: PageAddr, at: SimTime) -> bool {
         let geo = self.layout.geometry();
-        let ok = self
-            .map
-            .complete_copy(lpn, geo.page_index(src), geo.page_index(dst));
+        let (src_ppn, dst_ppn) = (geo.page_index(src), geo.page_index(dst));
+        let ok = self.map.complete_copy(lpn, src_ppn, dst_ppn);
         if ok {
             self.stats.gc_pages_copied += 1;
         } else {
             self.stats.stale_copies += 1;
+        }
+        if let Some(meta) = &mut self.meta {
+            meta.note_copy(lpn, src_ppn, dst_ppn, ok, at);
         }
         ok
     }
@@ -340,6 +466,9 @@ impl Ftl {
         for b in &round.erases {
             let idx = geo.block_index(*b);
             self.map.erase_block(idx);
+            if let Some(meta) = &mut self.meta {
+                meta.note_erase(idx as u64 * u64::from(geo.pages), u64::from(geo.pages));
+            }
             self.stats.erases += 1;
         }
         self.free_sbs.push_back(round.victim);
@@ -355,6 +484,9 @@ impl Ftl {
         for b in &round.erases {
             let idx = geo.block_index(*b);
             self.map.erase_block(idx);
+            if let Some(meta) = &mut self.meta {
+                meta.note_erase(idx as u64 * u64::from(geo.pages), u64::from(geo.pages));
+            }
             self.stats.erases += 1;
         }
         self.retired.push(round.victim);
@@ -461,9 +593,11 @@ impl Ftl {
 
     /// Unmaps a logical page (TRIM), invalidating its physical page.
     pub fn trim(&mut self, lpn: Lpn) -> Option<PageAddr> {
-        self.map
-            .trim(lpn)
-            .map(|ppn| self.layout.geometry().page_at(ppn))
+        let old = self.map.trim(lpn);
+        if let Some(meta) = &mut self.meta {
+            meta.note_trim(lpn);
+        }
+        old.map(|ppn| self.layout.geometry().page_at(ppn))
     }
 }
 

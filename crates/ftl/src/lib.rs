@@ -29,6 +29,7 @@ mod alloc;
 mod ftl;
 mod gc;
 mod mapping;
+pub mod meta;
 mod superblock;
 pub mod was;
 
@@ -36,4 +37,8 @@ pub use alloc::AllocGroup;
 pub use ftl::{Ftl, FtlConfig, FtlStats};
 pub use gc::{CopyGroup, GcPolicy, GcRound};
 pub use mapping::{Lpn, MappingTable, Ppn};
+pub use meta::{
+    MetaConfig, MetaIo, MetaState, MetaStats, RecoveryOutcome, CHECKPOINT_ENTRY_BYTES,
+    META_NO_TICKET, META_UNMAPPED,
+};
 pub use superblock::SuperblockLayout;

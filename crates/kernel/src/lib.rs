@@ -21,6 +21,8 @@
 //!   that cannot use dense ids.
 //! * [`parallel`] — a std-only scoped-thread fan-out for embarrassingly
 //!   parallel sweeps, with results in deterministic input order.
+//! * [`snap`] — a tiny hand-rolled binary codec for simulation snapshots
+//!   (the workspace vendors no external serialization crate).
 //!
 //! # Example
 //!
@@ -44,6 +46,7 @@ pub mod parallel;
 mod rng;
 mod server;
 mod slab;
+pub mod snap;
 pub mod stats;
 mod time;
 
@@ -52,4 +55,5 @@ pub use hash::{FxHashMap, FxHasher};
 pub use rng::Rng;
 pub use server::{BandwidthServer, ServerStats, Transfer};
 pub use slab::{Slab, SlabKey};
+pub use snap::{SnapError, SnapReader, SnapWriter};
 pub use time::{SimSpan, SimTime};

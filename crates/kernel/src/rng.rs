@@ -45,6 +45,32 @@ impl Rng {
         }
     }
 
+    /// Decomposes the generator into its raw xoshiro256\*\* state and the
+    /// cached Box–Muller pair, for snapshotting. [`Rng::from_parts`]
+    /// reconstructs a generator that continues the exact same stream.
+    #[must_use]
+    pub fn to_parts(&self) -> ([u64; 4], Option<f64>) {
+        (self.state, self.gauss_cache)
+    }
+
+    /// Rebuilds a generator from [`Rng::to_parts`] output.
+    #[must_use]
+    pub fn from_parts(state: [u64; 4], gauss_cache: Option<f64>) -> Self {
+        Rng { state, gauss_cache }
+    }
+
+    /// A 64-bit digest of the generator state (for snapshot validation).
+    /// Does not advance the stream.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for w in self.state {
+            h = (h ^ w).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let cached = self.gauss_cache.map_or(0, f64::to_bits);
+        (h ^ cached).wrapping_mul(0x0000_0100_0000_01B3)
+    }
+
     /// Derives an independent generator for a sub-component, keyed by
     /// `stream`. Useful for giving each simulated component its own
     /// deterministic stream.

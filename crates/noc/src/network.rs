@@ -125,7 +125,7 @@ pub struct HopRecord {
 /// [`Network::handle_into`] / [`Network::inject_into`]: the vectors then
 /// retain their capacity across events and the per-event heap traffic
 /// disappears.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Step {
     /// Packets fully delivered by this step.
     pub delivered: Vec<Delivered>,
@@ -189,7 +189,7 @@ struct RouterNode {
 
 /// An event in the express path's private forward-run heap, ordered like
 /// the embedder's event queue: by time, FIFO within a timestamp.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FwdEv {
     t: SimTime,
     seq: u64,
@@ -240,7 +240,7 @@ pub struct ExpressDiag {
 
 /// Per-member deferred results inside a [`GroupRes`]: everything the
 /// member's [`NocEvent::ExpressDone`] releases.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct MemberData {
     /// Generation tag echoed by [`NocEvent::ExpressDone`]; reassigned
     /// (staling the previously scheduled event) whenever a merge re-runs
@@ -273,7 +273,7 @@ struct MemberData {
 /// when the group's [`NocEvent::ExpressResolve`] fires, one flit time
 /// after `t0`. Demotion replays the same function live up to the
 /// demotion time.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct GroupRes {
     /// The shared injection timestamp.
     t0: SimTime,
@@ -306,7 +306,7 @@ struct GroupRes {
 /// which belong to the group. One machinery run per signature captures
 /// everything; later groups with the same signature fast-forward with
 /// O(route + members) arithmetic and no flit events at all.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct GroupTimeline {
     /// Per-member relative results, parallel to the group's members.
     rel: Vec<MemberRel>,
@@ -341,7 +341,7 @@ thread_local! {
 const EXPRESS_CACHE_CAP: usize = 4096;
 
 /// One member's slice of a [`GroupTimeline`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct MemberRel {
     /// Delivery time offset from `t0`.
     rel_delivered: SimSpan,
@@ -360,7 +360,7 @@ struct MemberRel {
 ///
 /// See the [crate documentation](crate) for the modeling overview and an
 /// end-to-end example.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Network {
     config: NocConfig,
     topology: Topology,

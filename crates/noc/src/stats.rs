@@ -18,7 +18,7 @@ use crate::Delivered;
 /// assert_eq!(net.stats().delivered, 1);
 /// assert!(net.stats().mean_latency().as_ns() > 0);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct NocStats {
     /// Packets injected.
     pub injected: u64,

@@ -5,6 +5,7 @@ use std::collections::BinaryHeap;
 
 use dssd_ctrl::{RecycleBlockTable, SuperblockRemapTable};
 use dssd_flash::{EraseOutcome, WearModel};
+use dssd_ftl::{MetaConfig, CHECKPOINT_ENTRY_BYTES};
 use dssd_kernel::Rng;
 
 /// Global block identity: `channel * blocks_per_channel + local`.
@@ -82,6 +83,17 @@ pub struct EnduranceConfig {
     /// visibility from its scans); larger values model stale or noisy
     /// RBER estimates between scan passes.
     pub was_estimation_sigma: f64,
+    /// FTL durability-model knobs: when set, every superblock fill also
+    /// journals one mapping op per constituent block and checkpoints on
+    /// the configured data-page interval, and the run reports the
+    /// metadata write traffic ([`EnduranceReport::journal_pages`] /
+    /// [`EnduranceReport::checkpoint_pages`]).
+    pub journal: Option<MetaConfig>,
+    /// Mean superblock fills between injected power losses (exponential,
+    /// drawn from the dedicated `seed ^ 0x504C` stream so injection
+    /// leaves the endurance curve untouched). 0 disables injection;
+    /// requires `journal` to be set.
+    pub mean_fills_between_power_loss: f64,
     /// Random seed.
     pub seed: u64,
 }
@@ -106,6 +118,8 @@ impl EnduranceConfig {
             reserved_fraction: 0.07,
             stop_bad_fraction: 0.5,
             was_estimation_sigma: 0.0,
+            journal: None,
+            mean_fills_between_power_loss: 0.0,
             seed: 0xE2D,
         }
     }
@@ -134,6 +148,18 @@ impl EnduranceConfig {
     }
 }
 
+/// One injected power loss during an endurance run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerLossPoint {
+    /// Superblock fills completed when the loss struck.
+    pub fills: u64,
+    /// Host bytes written by then.
+    pub bytes_written: u64,
+    /// Journal pages the mount had to replay (flushed since the last
+    /// durable checkpoint).
+    pub journal_pages_replayed: u64,
+}
+
 /// The outcome of one endurance run.
 #[derive(Debug, Clone)]
 pub struct EnduranceReport {
@@ -153,6 +179,13 @@ pub struct EnduranceReport {
     pub initial_visible: u32,
     /// Superblock fills performed.
     pub fills: u64,
+    /// Injected power losses, in order (empty when injection is off).
+    pub power_loss_points: Vec<PowerLossPoint>,
+    /// Mapping-journal pages flushed ([`EnduranceConfig::journal`]).
+    pub journal_pages: u64,
+    /// Flash pages consumed by L2P checkpoints (including the one each
+    /// post-loss mount takes).
+    pub checkpoint_pages: u64,
 }
 
 impl EnduranceReport {
@@ -179,6 +212,96 @@ impl EnduranceReport {
     #[must_use]
     pub fn bad_superblocks(&self) -> u32 {
         self.curve.last().map_or(0, |&(_, bad)| bad)
+    }
+}
+
+/// Per-fill metadata accounting: journal flushes on the FTL durability
+/// model's page-packing rule, checkpoints on its data-page cadence, and
+/// power-loss injection from the dedicated `seed ^ 0x504C` stream.
+#[derive(Debug)]
+struct MetaPump {
+    journal: Option<MetaConfig>,
+    /// Mapping ops appended per fill (one per constituent block).
+    entries_per_fill: u64,
+    /// Data-page programs per fill (drives the checkpoint cadence).
+    data_pages_per_fill: u64,
+    /// Flash pages one superblock-mapping checkpoint occupies.
+    ckpt_pages: u64,
+    pending_entries: u64,
+    pages_since_ckpt: u64,
+    /// Journal pages flushed since the last checkpoint — what a mount
+    /// right now would replay.
+    unreplayed_pages: u64,
+    loss_rng: Option<Rng>,
+    mean_fills: f64,
+    next_loss_at_fill: u64,
+}
+
+impl MetaPump {
+    fn new(cfg: &EnduranceConfig) -> MetaPump {
+        assert!(
+            cfg.mean_fills_between_power_loss <= 0.0 || cfg.journal.is_some(),
+            "power-loss injection requires the journal model"
+        );
+        let blocks = (cfg.channels * cfg.subs_per_channel) as u64;
+        let ckpt_pages = cfg.journal.map_or(0, |j| {
+            (cfg.superblocks as u64 * CHECKPOINT_ENTRY_BYTES).div_ceil(u64::from(j.page_bytes))
+        });
+        let mut pump = MetaPump {
+            journal: cfg.journal,
+            entries_per_fill: blocks,
+            data_pages_per_fill: blocks * u64::from(cfg.pages_per_block),
+            ckpt_pages,
+            pending_entries: 0,
+            pages_since_ckpt: 0,
+            unreplayed_pages: 0,
+            loss_rng: None,
+            mean_fills: cfg.mean_fills_between_power_loss,
+            next_loss_at_fill: 0,
+        };
+        if cfg.mean_fills_between_power_loss > 0.0 {
+            pump.loss_rng = Some(Rng::new(cfg.seed ^ 0x504C));
+            pump.schedule_loss(0);
+        }
+        pump
+    }
+
+    fn schedule_loss(&mut self, fills: u64) {
+        let rng = self.loss_rng.as_mut().expect("loss stream armed");
+        let gap = rng.exponential(self.mean_fills).round().max(1.0) as u64;
+        self.next_loss_at_fill = fills + gap;
+    }
+
+    /// Accounts one completed fill (`report.fills`/`total_written`
+    /// already bumped by the caller).
+    fn on_fill(&mut self, report: &mut EnduranceReport) {
+        let Some(j) = self.journal else { return };
+        self.pending_entries += self.entries_per_fill;
+        let per_page = u64::from(j.journal_entries_per_page);
+        let pages = self.pending_entries / per_page;
+        self.pending_entries %= per_page;
+        report.journal_pages += pages;
+        self.unreplayed_pages += pages;
+        if j.checkpoint_interval_pages > 0 {
+            self.pages_since_ckpt += self.data_pages_per_fill;
+            if self.pages_since_ckpt >= j.checkpoint_interval_pages {
+                self.pages_since_ckpt = 0;
+                report.checkpoint_pages += self.ckpt_pages;
+                self.unreplayed_pages = 0;
+            }
+        }
+        if self.loss_rng.is_some() && report.fills >= self.next_loss_at_fill {
+            report.power_loss_points.push(PowerLossPoint {
+                fills: report.fills,
+                bytes_written: report.total_written,
+                journal_pages_replayed: self.unreplayed_pages,
+            });
+            // The mount re-checkpoints, emptying the replay window.
+            report.checkpoint_pages += self.ckpt_pages;
+            self.unreplayed_pages = 0;
+            self.pages_since_ckpt = 0;
+            self.schedule_loss(report.fills);
+        }
     }
 }
 
@@ -296,7 +419,11 @@ impl EnduranceSim {
             remap_events: 0,
             initial_visible: visible as u32,
             fills: 0,
+            power_loss_points: Vec::new(),
+            journal_pages: 0,
+            checkpoint_pages: 0,
         };
+        let mut pump = MetaPump::new(&cfg);
         let stop_bad = ((visible as f64 * cfg.stop_bad_fraction).ceil() as u32).max(1);
         let sb_bytes = cfg.superblock_bytes();
         let recycling = policy != SuperblockPolicy::Baseline;
@@ -308,6 +435,7 @@ impl EnduranceSim {
             let sb = alive[rr] as usize;
             report.fills += 1;
             report.total_written += sb_bytes;
+            pump.on_fill(&mut report);
 
             // One P/E cycle per constituent block.
             let mut worn: Vec<usize> = Vec::new();
@@ -430,7 +558,11 @@ impl EnduranceSim {
             remap_events: 0,
             initial_visible: cfg.superblocks as u32,
             fills: 0,
+            power_loss_points: Vec::new(),
+            journal_pages: 0,
+            checkpoint_pages: 0,
         };
+        let mut pump = MetaPump::new(&cfg);
         let sb_bytes = cfg.superblock_bytes();
         let formable = |pools: &[BinaryHeap<(u32, Reverse<BlockId>)>]| {
             pools.iter().map(|p| p.len() / subs).min().unwrap_or(0) as u32
@@ -451,6 +583,7 @@ impl EnduranceSim {
             }
             report.fills += 1;
             report.total_written += sb_bytes;
+            pump.on_fill(&mut report);
             for pool in &mut pools {
                 let mut used = Vec::with_capacity(subs);
                 for _ in 0..subs {
@@ -629,6 +762,67 @@ mod tests {
             oracle > noisy,
             "oracle WAS {oracle} must beat noisy WAS {noisy}"
         );
+    }
+
+    fn journaled() -> EnduranceConfig {
+        EnduranceConfig {
+            journal: Some(MetaConfig {
+                journal_entries_per_page: 64,
+                checkpoint_interval_pages: 1 << 16,
+                page_bytes: 16384,
+            }),
+            mean_fills_between_power_loss: 200.0,
+            ..cfg()
+        }
+    }
+
+    #[test]
+    fn power_loss_points_are_recorded_and_deterministic() {
+        let a = EnduranceSim::new(journaled()).run(SuperblockPolicy::Recycled);
+        let b = EnduranceSim::new(journaled()).run(SuperblockPolicy::Recycled);
+        assert!(!a.power_loss_points.is_empty());
+        assert_eq!(a.power_loss_points, b.power_loss_points);
+        assert!(a.journal_pages > 0);
+        assert!(a.checkpoint_pages > 0);
+        for w in a.power_loss_points.windows(2) {
+            assert!(w[0].fills < w[1].fills, "losses must strictly advance");
+        }
+    }
+
+    #[test]
+    fn power_loss_injection_leaves_the_endurance_curve_untouched() {
+        // The loss stream is dedicated (`seed ^ 0x504C`), so injection
+        // must not perturb wear evolution.
+        let plain = EnduranceSim::new(cfg()).run(SuperblockPolicy::Recycled);
+        let inj = EnduranceSim::new(journaled()).run(SuperblockPolicy::Recycled);
+        assert_eq!(plain.curve, inj.curve);
+        assert_eq!(plain.total_written, inj.total_written);
+    }
+
+    #[test]
+    fn journal_traffic_scales_with_fills() {
+        let r = EnduranceSim::new(journaled()).run(SuperblockPolicy::Baseline);
+        // One op per constituent block per fill, 64 ops per page.
+        let c = cfg();
+        let expected =
+            r.fills * (c.channels * c.subs_per_channel) as u64 / 64;
+        assert!(r.journal_pages >= expected.saturating_sub(1));
+        assert!(r.journal_pages <= expected + 1);
+    }
+
+    #[test]
+    fn no_journal_means_no_metadata_traffic() {
+        let r = run(SuperblockPolicy::Recycled);
+        assert_eq!(r.journal_pages, 0);
+        assert_eq!(r.checkpoint_pages, 0);
+        assert!(r.power_loss_points.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power-loss injection requires the journal model")]
+    fn loss_without_journal_panics() {
+        let c = EnduranceConfig { mean_fills_between_power_loss: 10.0, ..cfg() };
+        let _ = EnduranceSim::new(c).run(SuperblockPolicy::Baseline);
     }
 
     #[test]

@@ -27,6 +27,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod crashpoint;
 mod endurance;
 
-pub use endurance::{EnduranceConfig, EnduranceReport, EnduranceSim, SuperblockPolicy};
+pub use crashpoint::{sweep, CrashpointConfig, CrashpointReport, CrashpointViolation};
+pub use endurance::{
+    EnduranceConfig, EnduranceReport, EnduranceSim, PowerLossPoint, SuperblockPolicy,
+};

@@ -107,6 +107,65 @@ pub struct WasScanConfig {
     pub interval: SimSpan,
 }
 
+/// FTL metadata durability model knobs (crash consistency; see
+/// `dssd_ftl::meta`). Off by default: without it the mapping lives in
+/// (free) simulated DRAM and no journal/checkpoint traffic is charged,
+/// keeping runs bit-identical to the pre-durability simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Mapping-journal entries per flash journal page; the volatile
+    /// journal buffer flushes (one charged page program) when it fills.
+    pub journal_entries_per_page: u32,
+    /// Data-page programs between full L2P checkpoint flushes
+    /// (0 = only the mount baseline).
+    pub checkpoint_interval_pages: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            journal_entries_per_page: 256,
+            checkpoint_interval_pages: 0,
+        }
+    }
+}
+
+/// Deterministic power-loss injection. All knobs zero ([`PowerLossConfig
+/// ::none()`]) means power never fails and no RNG stream is constructed,
+/// so runs stay bit-identical to the pre-power-loss simulator.
+///
+/// Stream discipline matches the fault injector: the loss instant drawn
+/// for `mean_time_to_loss` comes from a dedicated stream
+/// (`seed ^ 0x504C`), never from the simulator's main stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLossConfig {
+    /// Cut power at this exact instant (ZERO = disabled).
+    pub at: SimTime,
+    /// Cut power after this many delivered events (0 = disabled).
+    pub at_event: u64,
+    /// Draw the loss instant from an exponential with this mean
+    /// (ZERO = disabled).
+    pub mean_time_to_loss: SimSpan,
+}
+
+impl PowerLossConfig {
+    /// Power never fails.
+    #[must_use]
+    pub fn none() -> Self {
+        PowerLossConfig {
+            at: SimTime::ZERO,
+            at_event: 0,
+            mean_time_to_loss: SimSpan::ZERO,
+        }
+    }
+
+    /// True if any injection mode is armed.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.at > SimTime::ZERO || self.at_event > 0 || !self.mean_time_to_loss.is_zero()
+    }
+}
+
 /// Full simulator configuration.
 ///
 /// Presets encode Table 1; the `scaled_*` variants shrink per-plane block
@@ -179,6 +238,11 @@ pub struct SsdConfig {
     /// Deterministic in-band fault injection ([`FaultConfig::none()`] by
     /// default: no faults, and the injector is never constructed).
     pub faults: FaultConfig,
+    /// Optional FTL metadata durability model (`None` = mapping
+    /// persistence is free, as before this model existed).
+    pub durability: Option<DurabilityConfig>,
+    /// Deterministic power-loss injection (requires `durability`).
+    pub power_loss: PowerLossConfig,
     /// When true, a GC round is always in flight (back-to-back rounds),
     /// modeling the paper's measurement regime for Figs 2/7/8/12/13:
     /// I/O fully utilizes the SSD *while GC is performed*, so GC demand
@@ -213,6 +277,8 @@ impl SsdConfig {
             prefill_target_free: FtlConfig::default().gc_threshold_free,
             prefill_invalid_fraction: 0.5,
             faults: FaultConfig::none(),
+            durability: None,
+            power_loss: PowerLossConfig::none(),
             gc_continuous: false,
             seed: 0x5D_D5,
         }
@@ -383,6 +449,21 @@ impl SsdConfig {
         if let Some(e) = self.faults.validate() {
             return Err(e);
         }
+        if let Some(d) = self.durability {
+            if d.journal_entries_per_page == 0 {
+                return Err("journal needs at least one entry per page".into());
+            }
+            if self.write_cache_pages.is_some() {
+                return Err(
+                    "durability model assumes no volatile write-back cache \
+                     (acks from DRAM could never be made durable)"
+                        .into(),
+                );
+            }
+        }
+        if self.power_loss.enabled() && self.durability.is_none() {
+            return Err("power-loss injection requires the durability model".into());
+        }
         Ok(())
     }
 }
@@ -481,6 +562,29 @@ mod tests {
         let mut c = SsdConfig::test_tiny(Architecture::Baseline);
         c.faults.read_hard_prob = 2.0;
         assert!(c.validate().unwrap_err().contains("fault"));
+
+        let mut c = SsdConfig::test_tiny(Architecture::Baseline);
+        c.power_loss.at = SimTime::from_us(50);
+        assert!(c.validate().unwrap_err().contains("durability"));
+
+        let mut c = SsdConfig::test_tiny(Architecture::Baseline);
+        c.durability = Some(DurabilityConfig { journal_entries_per_page: 0, ..Default::default() });
+        assert!(c.validate().unwrap_err().contains("journal"));
+
+        let mut c = SsdConfig::test_tiny(Architecture::Baseline);
+        c.durability = Some(DurabilityConfig::default());
+        c.write_cache_pages = Some(64);
+        assert!(c.validate().unwrap_err().contains("write-back cache"));
+    }
+
+    #[test]
+    fn durability_with_power_loss_validates() {
+        let mut c = SsdConfig::test_tiny(Architecture::DssdFnoc);
+        c.durability = Some(DurabilityConfig::default());
+        c.power_loss.mean_time_to_loss = SimSpan::from_us(500);
+        c.validate().unwrap();
+        assert!(c.power_loss.enabled());
+        assert!(!PowerLossConfig::none().enabled());
     }
 
     #[test]

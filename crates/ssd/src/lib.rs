@@ -42,12 +42,20 @@ mod config;
 mod faults;
 mod metrics;
 mod sim;
+mod snapshot;
 
-pub use config::{Architecture, DynamicSbConfig, SsdConfig, WasScanConfig};
+pub use config::{
+    Architecture, DurabilityConfig, DynamicSbConfig, PowerLossConfig, SsdConfig, WasScanConfig,
+};
 pub use faults::{FaultConfig, FaultInjector, ReadFault};
-pub use metrics::{FaultCounters, RunReport, StageBreakdown, StageKind};
+pub use metrics::{FaultCounters, RecoveryReport, RunReport, StageBreakdown, StageKind};
 pub use cache::WriteCache;
-pub use sim::{SsdSim, EPOCH_COLUMNS};
+pub use sim::{RunState, SsdSim, EPOCH_COLUMNS};
+pub use snapshot::{RunPlan, SimSnapshot};
+
+// Re-exported so embedders can read durability-model stats without a
+// separate dependency on the FTL crate.
+pub use dssd_ftl::{MetaStats, RecoveryOutcome};
 
 // Re-exported so embedders can configure tracing without a separate
 // dependency on the telemetry crate.

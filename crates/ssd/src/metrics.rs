@@ -169,8 +169,44 @@ impl FaultCounters {
     }
 }
 
+/// What a simulated post-power-loss mount observed: scan/replay costs,
+/// the analytic mount latency, and the crash-consistency invariant
+/// verdicts (both violation counters must be zero on a correct FTL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The instant power was cut.
+    pub power_loss_at: SimTime,
+    /// Analytic mount latency (checkpoint load + journal replay + OOB
+    /// scan, channel-parallel page reads).
+    pub recovery_time: SimSpan,
+    /// Flash pages read to load the newest durable checkpoint.
+    pub checkpoint_pages: u64,
+    /// Durable journal pages replayed.
+    pub journal_pages_replayed: u64,
+    /// Journal ops examined during replay.
+    pub journal_entries_replayed: u64,
+    /// OOB records scanned in the open (post-journal-tip) region.
+    pub oob_pages_scanned: u64,
+    /// In-flight programs torn by the crash.
+    pub torn_pages: u64,
+    /// Invariant violations: acknowledged writes lost by recovery.
+    pub lost_acked_writes: u64,
+    /// Invariant violations: trimmed LPNs resurrected with stale data.
+    pub resurrected_trims: u64,
+    /// Host requests in flight (never acknowledged) when power failed.
+    pub requests_torn: u64,
+}
+
+impl RecoveryReport {
+    /// True when both crash-consistency invariants held.
+    #[must_use]
+    pub fn invariants_hold(&self) -> bool {
+        self.lost_acked_writes == 0 && self.resurrected_trims == 0
+    }
+}
+
 /// Everything measured during one simulation run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Host I/O bytes completed, 1 ms bins (Fig 2's y-axis).
     pub io_bw: BandwidthMeter,
@@ -216,6 +252,8 @@ pub struct RunReport {
     pub gc_issue_digest: u64,
     /// Wall-clock end of the measured window.
     pub elapsed: SimSpan,
+    /// Power-loss mount outcome (`None` unless power was cut).
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl RunReport {
@@ -241,6 +279,7 @@ impl RunReport {
             events_delivered: 0,
             gc_issue_digest: 0,
             elapsed: SimSpan::ZERO,
+            recovery: None,
         }
     }
 

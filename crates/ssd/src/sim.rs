@@ -9,7 +9,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use dssd_ctrl::{CommandId, CommandKind, CommandQueue, DecoupledController, EccVerdict};
 use dssd_flash::{DieGrid, EraseOutcome, FlashOp, FlashOpKind, PageAddr, WearModel};
-use dssd_ftl::{AllocGroup, CopyGroup, Ftl, GcRound, Lpn};
+use dssd_ftl::{AllocGroup, CopyGroup, Ftl, GcRound, Lpn, MetaStats, META_NO_TICKET};
 use dssd_kernel::{BandwidthServer, EventQueue, Rng, SimSpan, SimTime, Slab, SlabKey};
 use dssd_noc::{Network, NocEvent, Packet};
 use dssd_telemetry::{Class, EpochSeries, Stage, TraceConfig, Tracer, Track};
@@ -26,6 +26,9 @@ const CLASS_IO: usize = 0;
 const CLASS_GC: usize = 1;
 /// Traffic class for WAS endurance-scan traffic.
 const CLASS_SCAN: usize = 2;
+/// Traffic class for FTL metadata traffic (mapping-journal flushes and
+/// L2P checkpoints) when the durability model is enabled.
+const CLASS_META: usize = 3;
 
 /// Maximum GC copy groups in flight per source channel. PaGC executes
 /// GC in parallel across all flash (its copy bursts are what interfere
@@ -38,7 +41,19 @@ const SCAN_INFLIGHT: usize = 128;
 type ReqId = SlabKey;
 type JobId = SlabKey;
 
-#[derive(Debug)]
+/// Why [`SsdSim::run_events`] / [`SsdSim::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// The step limit (or target instant) stopped the run; more events
+    /// are pending.
+    Paused,
+    /// Injected or forced power loss ended the run.
+    Halted,
+    /// The run reached its horizon (or the event queue drained).
+    Done,
+}
+
+#[derive(Debug, Clone)]
 struct ReqState {
     op: Op,
     arrived: SimTime,
@@ -48,9 +63,13 @@ struct ReqState {
     /// The request completed but lost data (read retries or program
     /// attempts exhausted) — surfaced to the host as a failure.
     failed: bool,
+    /// Durability-model tickets of this request's write groups; redeemed
+    /// (ack or discard) when the request completes. Empty when the model
+    /// is disabled.
+    tickets: Vec<u32>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CopyJob {
     /// `(lpn, src, dst)` triples; all sources on one die/row, all
     /// destinations on one die/row.
@@ -67,7 +86,7 @@ struct CopyJob {
     cmd: CommandId,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct GcState {
     round: GcRound,
     pending: VecDeque<CopyGroup>,
@@ -119,6 +138,9 @@ struct WriteLeg {
     lpns: Option<Vec<Lpn>>,
     /// 1 on the first program; incremented per re-allocation.
     attempt: u32,
+    /// Durability-model ticket for this group
+    /// ([`dssd_ftl::META_NO_TICKET`] when the model is disabled).
+    ticket: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -177,7 +199,7 @@ enum Ev {
 /// stripe-die)` pair, so the per-access lookup in `effective_addr` is a
 /// single indexed load instead of a hash probe. The replacement
 /// `(channel, way, die)` packs into a `u32`; `u32::MAX` marks identity.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct RemapTable {
     table: Vec<u32>,
     stripe_dies: u32,
@@ -226,7 +248,11 @@ impl RemapTable {
 ///
 /// See the [crate documentation](crate) for the architecture table and an
 /// end-to-end example.
-#[derive(Debug)]
+///
+/// `Clone` forks the entire simulation state: both copies continue
+/// independently and deterministically (the crashpoint sweep uses this
+/// to test power loss at every k-th event without re-running the prefix).
+#[derive(Debug, Clone)]
 pub struct SsdSim {
     config: SsdConfig,
     rng: Rng,
@@ -278,6 +304,17 @@ pub struct SsdSim {
     /// Emit a wall-clock-throttled heartbeat to stderr while the event
     /// loop runs (`--progress`). Stdout and the simulation are untouched.
     progress: bool,
+    /// Events handled so far — the snapshot/replay cursor. Unlike
+    /// `queue.delivered()` it excludes the final beyond-horizon pop, so
+    /// replaying exactly this many events reproduces the state.
+    events_handled: u64,
+    /// Armed power-loss instant (configured or drawn from the dedicated
+    /// `seed ^ 0x504C` stream).
+    power_at: Option<SimTime>,
+    /// Power loss after this many handled events, if armed.
+    power_at_event: Option<u64>,
+    /// True after a power loss: volatile state is gone, the run is over.
+    halted: bool,
 }
 
 /// Stderr heartbeat state for [`SsdSim::set_progress`]: reports sim-time,
@@ -324,7 +361,7 @@ impl ProgressMeter {
 }
 
 /// Fixed-interval sampling state for the telemetry epoch time-series.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct EpochProbe {
     every: SimSpan,
     next: SimTime,
@@ -494,6 +531,31 @@ impl SsdSim {
             })
         });
 
+        // FTL metadata durability model (per-page OOB + mapping journal
+        // + L2P checkpoints), charged as real flash traffic.
+        if let Some(d) = config.durability {
+            ftl.enable_meta(dssd_ftl::MetaConfig {
+                journal_entries_per_page: d.journal_entries_per_page,
+                checkpoint_interval_pages: d.checkpoint_interval_pages,
+                page_bytes: geo.page_bytes,
+            });
+        }
+
+        // Deterministic power loss. The drawn instant comes from its own
+        // stream (`seed ^ 0x504C`) so arming it cannot perturb the
+        // workload/prefill/fault randomness of the comparison run.
+        let pl = config.power_loss;
+        let power_at = if pl.at > SimTime::ZERO {
+            Some(pl.at)
+        } else if pl.mean_time_to_loss > SimSpan::ZERO {
+            let mut prng = Rng::new(config.seed ^ 0x504C);
+            let ns = prng.exponential(pl.mean_time_to_loss.as_ns() as f64);
+            Some(SimTime::ZERO + SimSpan::from_ns((ns.round() as u64).max(1)))
+        } else {
+            None
+        };
+        let power_at_event = (pl.at_event > 0).then_some(pl.at_event);
+
         SsdSim {
             rng,
             ftl,
@@ -532,6 +594,10 @@ impl SsdSim {
             tracer: Tracer::disabled(),
             epoch: None,
             progress: false,
+            events_handled: 0,
+            power_at,
+            power_at_event,
+            halted: false,
         }
     }
 
@@ -554,6 +620,20 @@ impl SsdSim {
         &self.ftl
     }
 
+    /// Whether [`SsdSim::prefill`] has run.
+    #[must_use]
+    pub fn is_prefilled(&self) -> bool {
+        self.prefilled
+    }
+
+    /// Digest of the fault-injection stream position, or `None` when
+    /// fault injection is disabled. Useful for asserting that the fault
+    /// stream survives snapshot/restore bit-identically.
+    #[must_use]
+    pub fn fault_stream_digest(&self) -> Option<u64> {
+        self.injector.as_ref().map(FaultInjector::stream_digest)
+    }
+
     /// Pre-conditions the drive per Sec 6.1 (full + fragmented, on the
     /// edge of triggering GC). Idempotent.
     pub fn prefill(&mut self) {
@@ -574,13 +654,9 @@ impl SsdSim {
         workload: SyntheticWorkload,
         duration: SimSpan,
     ) -> &RunReport {
-        let bound = workload.bind_check(self.ftl.lpn_count());
-        self.workload = Some(bound);
-        self.horizon = SimTime::ZERO + duration;
-        self.queue.push(SimTime::ZERO, Ev::Admit);
-        self.event_loop();
-        self.report.elapsed = duration;
-        &self.report
+        self.begin_closed_loop(workload, duration);
+        self.run_events(u64::MAX);
+        self.finish_run()
     }
 
     /// Replays an open-loop request schedule (e.g. from a trace), capped
@@ -590,15 +666,41 @@ impl SsdSim {
         requests: Vec<(SimTime, Request)>,
         duration: SimSpan,
     ) -> &RunReport {
-        self.horizon = SimTime::ZERO + duration;
+        self.begin_run(duration);
         for (t, r) in requests {
             if t <= self.horizon {
                 self.queue.push(t, Ev::Arrive(r));
             }
         }
-        self.event_loop();
-        self.report.elapsed = duration;
-        &self.report
+        self.arm_scan();
+        self.run_events(u64::MAX);
+        self.finish_run()
+    }
+
+    /// Arms a closed-loop run without driving it: pair with
+    /// [`SsdSim::run_events`] / [`SsdSim::run_until`] to step the
+    /// simulation (snapshots, crashpoint sweeps), then
+    /// [`SsdSim::finish_run`]. `begin` + `run_events(u64::MAX)` +
+    /// `finish_run` is exactly [`SsdSim::run_closed_loop`].
+    pub fn begin_closed_loop(&mut self, workload: SyntheticWorkload, duration: SimSpan) {
+        let bound = workload.bind_check(self.ftl.lpn_count());
+        self.workload = Some(bound);
+        self.begin_run(duration);
+        self.queue.push(SimTime::ZERO, Ev::Admit);
+        self.arm_scan();
+    }
+
+    fn begin_run(&mut self, duration: SimSpan) {
+        // Mounting takes the baseline checkpoint over the (typically
+        // prefilled) mapping — a no-op when durability is off.
+        self.ftl.meta_mount_baseline();
+        self.horizon = SimTime::ZERO + duration;
+    }
+
+    fn arm_scan(&mut self) {
+        if let Some(was) = self.config.was_scan {
+            self.queue.push(SimTime::ZERO + was.interval, Ev::ScanTick);
+        }
     }
 
     /// The measurements collected so far.
@@ -688,12 +790,38 @@ impl SsdSim {
     // Event loop
     // ------------------------------------------------------------------
 
-    fn event_loop(&mut self) {
-        if let Some(was) = self.config.was_scan {
-            self.queue.push(SimTime::ZERO + was.interval, Ev::ScanTick);
+    /// Drives the event loop for up to `limit` events. Returns
+    /// [`RunState::Done`] when the run reached its horizon (or drained),
+    /// [`RunState::Paused`] when the limit stopped it mid-run, and
+    /// [`RunState::Halted`] when injected power loss cut it short.
+    ///
+    /// Stepping stops *before* popping (the queue's FIFO tie order would
+    /// not survive a pop-and-re-push), while the horizon check keeps the
+    /// original pop-then-break — the dropped pop is part of the golden
+    /// `events_delivered` fingerprints.
+    pub fn run_events(&mut self, limit: u64) -> RunState {
+        if self.halted {
+            return RunState::Halted;
         }
         let mut progress = self.progress.then(ProgressMeter::new);
-        while let Some((t, ev)) = self.queue.pop() {
+        let mut handled = 0u64;
+        loop {
+            if handled >= limit {
+                return RunState::Paused;
+            }
+            if let Some(pa) = self.power_at {
+                let due = pa <= self.horizon
+                    && match self.queue.peek_time() {
+                        Some(next) => next >= pa,
+                        None => true,
+                    };
+                if due {
+                    self.now = pa;
+                    self.power_loss();
+                    return RunState::Halted;
+                }
+            }
+            let Some((t, ev)) = self.queue.pop() else { break };
             if t > self.horizon {
                 break;
             }
@@ -709,15 +837,194 @@ impl SsdSim {
             }
             self.now = t;
             self.handle(ev);
+            self.events_handled += 1;
+            handled += 1;
+            if self.power_at_event == Some(self.events_handled) {
+                self.power_loss();
+                return RunState::Halted;
+            }
         }
+        RunState::Done
+    }
+
+    /// Steps until the next pending event would land after `t` (so the
+    /// state is exactly the full run's state at instant `t`). Returns
+    /// [`RunState::Paused`] on reaching `t` with events still pending.
+    pub fn run_until(&mut self, t: SimTime) -> RunState {
+        loop {
+            match self.queue.peek_time() {
+                Some(next) if next <= t => {}
+                _ => return RunState::Paused,
+            }
+            match self.run_events(1) {
+                RunState::Paused => {}
+                done => return done,
+            }
+        }
+    }
+
+    /// Finalizes a stepped run: closes epoch sampling and fills the
+    /// report's event/elapsed totals. Idempotent; [`SsdSim::run_closed_loop`]
+    /// calls it internally.
+    pub fn finish_run(&mut self) -> &RunReport {
+        let upto = if self.halted { self.now } else { self.horizon };
         if self.epoch.is_some() {
-            self.sample_epochs_until(self.horizon);
+            self.sample_epochs_until(upto);
         }
         // Queue pops, plus the flit-level events the NoC express path
         // simulated privately — so "events processed" measures the same
         // logical work with the express path on or off.
         self.report.events_delivered = self.queue.delivered()
             + self.noc.as_ref().map_or(0, |n| n.express_events());
+        self.report.elapsed = upto - SimTime::ZERO;
+        &self.report
+    }
+
+    /// Cuts power *now*, regardless of the configured injection modes.
+    /// The crashpoint sweep forks a clone of the running sim and calls
+    /// this to test recovery at an arbitrary instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the durability model is disabled or power was already
+    /// lost.
+    pub fn force_power_loss(&mut self) {
+        self.power_loss();
+    }
+
+    /// Power loss at `self.now`: every in-flight request and all volatile
+    /// state (event queue, journal buffer, in-flight checkpoint, DRAM) is
+    /// gone. The durability model mounts from durable media state only;
+    /// the reconstruction audit and analytic recovery time land in
+    /// [`RunReport::recovery`].
+    fn power_loss(&mut self) {
+        assert!(!self.halted, "power already lost");
+        self.halted = true;
+        let t = self.now;
+        self.tracer.instant(Track::Faults, "power loss", t);
+        let requests_torn = self.outstanding as u64;
+        let outcome = self
+            .ftl
+            .meta_recover(t)
+            .expect("power-loss injection requires the durability model");
+        let geo = self.config.geometry;
+        let bus_ns = SimSpan::for_transfer(
+            u64::from(geo.page_bytes),
+            self.config.flash_bus_bytes_per_sec,
+        )
+        .as_ns();
+        let recovery_time = self.ftl.meta().expect("durability enabled").recovery_time(
+            outcome.pages_read,
+            u64::from(geo.channels),
+            self.config.timing.read_latency_mid(),
+            bus_ns,
+        );
+        self.tracer.instant(Track::Faults, "mount recovery done", t + recovery_time);
+        self.report.recovery = Some(crate::RecoveryReport {
+            power_loss_at: t,
+            recovery_time,
+            checkpoint_pages: outcome.checkpoint_pages,
+            journal_pages_replayed: outcome.journal_pages_replayed,
+            journal_entries_replayed: outcome.journal_entries_replayed,
+            oob_pages_scanned: outcome.oob_pages_scanned,
+            torn_pages: outcome.torn_pages,
+            lost_acked_writes: outcome.lost_acked_writes,
+            resurrected_trims: outcome.resurrected_trims,
+            requests_torn,
+        });
+    }
+
+    /// Charges pending metadata I/O (journal flushes, checkpoints) as
+    /// flash traffic on `CLASS_META` and reports each transfer's durable
+    /// instant back to the model. Fully analytic: completion times use
+    /// the deterministic mid-range program latency (no RNG draws) and no
+    /// events are scheduled, so durability-off fingerprints are
+    /// untouched and `Ev` stays lean.
+    fn pump_meta(&mut self) {
+        let io = self.ftl.meta_take_io();
+        if io.is_empty() {
+            return;
+        }
+        let channels = u64::from(self.config.geometry.channels);
+        let page = u64::from(self.config.geometry.page_bytes);
+        let program = self.config.timing.program_latency_mid();
+        for item in io {
+            match item {
+                dssd_ftl::MetaIo::JournalFlush { page: seq, bytes } => {
+                    // The journal buffer drains from controller DRAM and
+                    // rotates round-robin over the channel buses.
+                    let d = self.dram.enqueue(self.now, u64::from(bytes), CLASS_META);
+                    let ch = (seq % channels) as usize;
+                    let tr =
+                        self.flash_bus[ch].enqueue(d.done, u64::from(bytes), CLASS_META);
+                    self.ftl.meta_journal_durable(seq, tr.done + program);
+                }
+                dssd_ftl::MetaIo::Checkpoint { pages, bytes } => {
+                    // Snapshot the mapping before any further mutation.
+                    self.ftl.meta_begin_checkpoint();
+                    let d = self.dram.enqueue(self.now, bytes, CLASS_META);
+                    let mut durable = d.done + program;
+                    for i in 0..pages {
+                        let ch = (i % channels) as usize;
+                        let tr = self.flash_bus[ch].enqueue(d.done, page, CLASS_META);
+                        durable = durable.max(tr.done + program);
+                    }
+                    self.ftl.meta_checkpoint_durable(durable);
+                }
+            }
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events handled so far — the snapshot/replay cursor.
+    #[must_use]
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
+    /// True after injected (or forced) power loss ended the run.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Durability-model activity counters, when the model is enabled.
+    #[must_use]
+    pub fn meta_stats(&self) -> Option<MetaStats> {
+        self.ftl.meta_stats()
+    }
+
+    /// Order-sensitive digest of the live simulation state (RNG, clock,
+    /// cursor, queue and report counters). Two sims with equal digests
+    /// built from the same config evolve identically; the snapshot
+    /// restore path verifies replay against it.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let stats = self.ftl.stats();
+        let parts = [
+            self.rng.state_digest(),
+            self.now.as_ns(),
+            self.events_handled,
+            self.queue.delivered(),
+            self.outstanding as u64,
+            u64::from(self.prefilled),
+            self.report.requests_completed,
+            self.report.gc_pages_copied,
+            self.report.gc_rounds,
+            self.report.io_bw.total_bytes(),
+            stats.host_pages_written,
+            stats.gc_pages_copied,
+        ];
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for p in parts {
+            h = (h ^ p).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
     }
 
     fn handle(&mut self, ev: Ev) {
@@ -879,6 +1186,7 @@ impl SsdSim {
             total_pages: r.pages,
             spans: Vec::new(),
             failed: false,
+            tickets: Vec::new(),
         });
         let name = match r.op {
             Op::Read => "read",
@@ -916,7 +1224,10 @@ impl SsdSim {
         }
         let lpns: Vec<Lpn> = r.lpns().map(|l| l % self.ftl.lpn_count()).collect();
         match self.ftl.write_pages(&lpns) {
-            Some(groups) => self.issue_write_groups(id, &groups, &lpns, 1),
+            Some(groups) => {
+                let tickets = self.ftl.meta_drain_tickets();
+                self.issue_write_groups(id, &groups, &lpns, &tickets, 1);
+            }
             None => {
                 // Out of space: the request stalls until GC frees a
                 // superblock — this is where baseline tail latency
@@ -1096,6 +1407,16 @@ impl SsdSim {
         }
         let state = self.requests.remove(req).unwrap();
         self.outstanding -= 1;
+        // Redeem the durability tickets: a successful completion is the
+        // host acknowledgement (the recovery oracle's ground truth); a
+        // failed one guarantees nothing and is discarded.
+        for &ticket in &state.tickets {
+            if state.failed {
+                self.ftl.meta_discard(ticket);
+            } else {
+                self.ftl.meta_ack(ticket);
+            }
+        }
         if state.failed {
             self.report.faults.requests_failed += 1;
         }
@@ -1464,8 +1785,9 @@ impl SsdSim {
         let bytes = self.page_bytes(j.pages.len() as u32);
         debug_assert!(!j.holds_src_dbuf, "dBUF released before program");
         for &(lpn, src, dst) in &j.pages {
-            self.ftl.complete_copy(lpn, src, dst);
+            self.ftl.complete_copy_at(lpn, src, dst, self.now);
         }
+        self.pump_meta();
         self.report.gc_pages_copied += j.pages.len() as u64;
         self.report.gc_bw.record(self.now, bytes);
         if self.tracer.is_enabled() {
@@ -1551,7 +1873,10 @@ impl SsdSim {
             // The request keeps its original arrival time.
             let lpns: Vec<Lpn> = r.lpns().map(|l| l % self.ftl.lpn_count()).collect();
             match self.ftl.write_pages(&lpns) {
-                Some(groups) => self.issue_write_groups(id, &groups, &lpns, 1),
+                Some(groups) => {
+                    let tickets = self.ftl.meta_drain_tickets();
+                    self.issue_write_groups(id, &groups, &lpns, &tickets, 1);
+                }
                 None => self.blocked_writes.push_back((id, r)),
             }
         }
@@ -1560,11 +1885,13 @@ impl SsdSim {
         for (id, lpns, attempt) in rewrites {
             match self.ftl.write_pages(&lpns) {
                 Some(groups) => {
-                    self.reissue_write_groups(id, &groups, &lpns, attempt, self.now);
+                    let tickets = self.ftl.meta_drain_tickets();
+                    self.reissue_write_groups(id, &groups, &lpns, &tickets, attempt, self.now);
                 }
                 None => self.blocked_rewrites.push_back((id, lpns, attempt)),
             }
         }
+        self.pump_meta();
         self.check_gc();
         self.pump_gc();
     }
@@ -1810,18 +2137,22 @@ impl SsdSim {
 
     /// Issues freshly allocated host write groups: each group crosses the
     /// system bus (host DMA) and then enters the flash path. `attempt`
-    /// seeds the per-group program-failure budget.
+    /// seeds the per-group program-failure budget; `tickets` are the
+    /// durability-model tickets drained right after `Ftl::write_pages`
+    /// (one per group, empty when the model is disabled).
     fn issue_write_groups(
         &mut self,
         req: ReqId,
         groups: &[AllocGroup],
         lpns: &[Lpn],
+        tickets: &[u32],
         attempt: u32,
     ) {
+        self.register_tickets(req, tickets);
         // LPNs ride along only when a failed program may need them.
         let carry = self.injector.is_some();
         let mut off = 0usize;
-        for g in groups {
+        for (i, g) in groups.iter().enumerate() {
             let n = g.len();
             let sub = if carry { Some(lpns[off..off + n].to_vec()) } else { None };
             off += n;
@@ -1842,9 +2173,21 @@ impl SsdSim {
                         addr: g.addrs[0],
                         lpns: sub,
                         attempt,
+                        ticket: tickets.get(i).copied().unwrap_or(META_NO_TICKET),
                     }),
                 },
             );
+        }
+    }
+
+    /// Attaches freshly drained durability tickets to their owning
+    /// request (redeemed at completion).
+    fn register_tickets(&mut self, req: ReqId, tickets: &[u32]) {
+        if tickets.is_empty() {
+            return;
+        }
+        if let Some(st) = self.requests.get_mut(req) {
+            st.tickets.extend_from_slice(tickets);
         }
     }
 
@@ -1856,11 +2199,13 @@ impl SsdSim {
         req: ReqId,
         groups: &[AllocGroup],
         lpns: &[Lpn],
+        tickets: &[u32],
         attempt: u32,
         at: SimTime,
     ) {
+        self.register_tickets(req, tickets);
         let mut off = 0usize;
-        for g in groups {
+        for (i, g) in groups.iter().enumerate() {
             let n = g.len();
             let sub = Some(lpns[off..off + n].to_vec());
             off += n;
@@ -1877,6 +2222,7 @@ impl SsdSim {
                         addr: g.addrs[0],
                         lpns: sub,
                         attempt,
+                        ticket: tickets.get(i).copied().unwrap_or(META_NO_TICKET),
                     }),
                 },
             );
@@ -1898,6 +2244,10 @@ impl SsdSim {
             self.handle_program_failure(leg, done);
             return;
         }
+        // The group's OOB becomes durable when the program completes at
+        // `done`; a crash before then tears these pages.
+        self.ftl.meta_mark_programmed(leg.ticket, done);
+        self.pump_meta();
         self.queue.push(done, Ev::WriteDone { req: leg.req, pages: leg.pages });
     }
 
@@ -1905,6 +2255,16 @@ impl SsdSim {
     /// re-issue the group — or complete the request as failed once the
     /// attempt budget is spent.
     fn handle_program_failure(&mut self, leg: WriteLeg, at: SimTime) {
+        // A failed program leaves no durable OOB record and journals no
+        // mapping op; the re-allocation below issues a fresh ticket.
+        self.ftl.meta_mark_torn(leg.ticket);
+        if leg.ticket != META_NO_TICKET {
+            if let Some(st) = self.requests.get_mut(leg.req) {
+                if let Some(pos) = st.tickets.iter().position(|&t| t == leg.ticket) {
+                    st.tickets.swap_remove(pos);
+                }
+            }
+        }
         self.mark_block_bad(leg.addr.block_addr());
         let out_of_budget = leg.attempt >= self.config.faults.max_program_attempts;
         let Some(lpns) = leg.lpns.filter(|_| !out_of_budget) else {
@@ -1918,7 +2278,15 @@ impl SsdSim {
         };
         match self.ftl.write_pages(&lpns) {
             Some(groups) => {
-                self.reissue_write_groups(leg.req, &groups, &lpns, leg.attempt + 1, at);
+                let tickets = self.ftl.meta_drain_tickets();
+                self.reissue_write_groups(
+                    leg.req,
+                    &groups,
+                    &lpns,
+                    &tickets,
+                    leg.attempt + 1,
+                    at,
+                );
             }
             None => {
                 // No space for the re-allocation: park it until GC frees

@@ -420,6 +420,73 @@ fn check_ts(ts: Option<f64>) -> Result<(), String> {
     }
 }
 
+/// Stats from a validated epoch JSONL export.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochFileStats {
+    /// Sample rows (JSONL lines).
+    pub rows: usize,
+    /// Columns in the (uniform) schema.
+    pub columns: usize,
+}
+
+/// Validate an epoch time-series JSONL export
+/// ([`crate::EpochSeries::write_jsonl`]).
+///
+/// Checks: every non-empty line is a flat JSON object of finite numbers;
+/// every line carries the same key set as the first (one schema per
+/// file); a `t_ms` column exists; and `t_ms` is strictly increasing —
+/// epochs are fixed-interval, so equal or regressing timestamps mean a
+/// corrupted or concatenated export.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] naming the offending line for the first
+/// violation.
+pub fn validate_epoch_jsonl(input: &str) -> Result<EpochFileStats, JsonError> {
+    let mut stats = EpochFileStats::default();
+    let mut schema: Vec<String> = Vec::new();
+    let mut last_t = f64::NEG_INFINITY;
+    for (lineno, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fail = |msg: String| JsonError {
+            message: format!("line {}: {msg}", lineno + 1),
+            offset: 0,
+        };
+        let Json::Obj(obj) = parse(line).map_err(|e| fail(e.message))? else {
+            return Err(fail("each line must be a JSON object".into()));
+        };
+        for (key, val) in &obj {
+            match val.as_f64() {
+                Some(v) if v.is_finite() => {}
+                _ => return Err(fail(format!("'{key}' must be a finite number"))),
+            }
+        }
+        let keys: Vec<String> = obj.keys().cloned().collect();
+        if stats.rows == 0 {
+            if !obj.contains_key("t_ms") {
+                return Err(fail("missing 't_ms' column".into()));
+            }
+            stats.columns = keys.len();
+            schema = keys;
+        } else if keys != schema {
+            return Err(fail(format!(
+                "column set {keys:?} differs from the first line's {schema:?}"
+            )));
+        }
+        let t = obj["t_ms"].as_f64().expect("checked finite above");
+        if t <= last_t {
+            return Err(fail(format!(
+                "t_ms {t} does not advance past the previous sample's {last_t}"
+            )));
+        }
+        last_t = t;
+        stats.rows += 1;
+    }
+    Ok(stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,6 +538,32 @@ mod tests {
         assert_eq!(stats.asyncs, 2);
         assert_eq!(stats.instants, 1);
         assert_eq!(stats.metadata, 1);
+    }
+
+    #[test]
+    fn validates_a_wellformed_epoch_file() {
+        let doc = "{\"t_ms\":1,\"depth\":3}\n{\"t_ms\":2,\"depth\":0.5}\n\n";
+        let stats = validate_epoch_jsonl(doc).unwrap();
+        assert_eq!(stats, EpochFileStats { rows: 2, columns: 2 });
+        assert_eq!(validate_epoch_jsonl("").unwrap(), EpochFileStats::default());
+    }
+
+    #[test]
+    fn epoch_validator_rejects_violations() {
+        let regressing = "{\"t_ms\":2}\n{\"t_ms\":1}";
+        assert!(validate_epoch_jsonl(regressing).unwrap_err().message.contains("advance"));
+        let stalled = "{\"t_ms\":1}\n{\"t_ms\":1}";
+        assert!(validate_epoch_jsonl(stalled).is_err());
+        let schema_drift = "{\"t_ms\":1,\"a\":0}\n{\"t_ms\":2,\"b\":0}";
+        assert!(validate_epoch_jsonl(schema_drift).unwrap_err().message.contains("column set"));
+        let no_t = "{\"x\":1}";
+        assert!(validate_epoch_jsonl(no_t).unwrap_err().message.contains("t_ms"));
+        let non_numeric = "{\"t_ms\":1,\"s\":\"x\"}";
+        assert!(validate_epoch_jsonl(non_numeric).is_err());
+        let not_object = "[1,2]";
+        assert!(validate_epoch_jsonl(not_object).is_err());
+        let garbage = "{\"t_ms\":1}\nnot json";
+        assert!(validate_epoch_jsonl(garbage).unwrap_err().message.starts_with("line 2"));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub struct TraceConfig {
 /// the simulator's `StageBreakdown`, so means cross-check exactly. Exact
 /// per-stage sums are kept separately in `u128` so the cross-check does not
 /// depend on histogram bucketing.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TraceSummary {
     stage_hist: [[Histogram; 6]; 2],
     stage_total_ns: [[u128; 6]; 2],
@@ -118,13 +118,13 @@ impl TraceSummary {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct OpenEntity {
     buf: Vec<TraceEvent>,
     began: SimTime,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Inner {
     window: Option<SimSpan>,
     events: VecDeque<TraceEvent>,
@@ -160,7 +160,7 @@ impl Inner {
 
 /// The span tracer. Disabled by default; every recording method is an
 /// inlined early-return when disabled, so the hot path costs one branch.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Tracer {
     inner: Option<Box<Inner>>,
 }

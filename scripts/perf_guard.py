@@ -9,6 +9,10 @@ any drops by more than the allowed fraction (default 20%, override with
 PERF_GUARD_MAX_DROP). Rows without an events count are skipped — wall
 time alone is too noisy across CI machines, but events/sec measures the
 simulator's own throughput on identical deterministic work.
+
+Prints a per-bench delta table (baseline vs. current events/sec, delta,
+and median wall time) so the CI log shows every point, not just the
+failures.
 """
 
 import json
@@ -27,6 +31,10 @@ def rows(path, prefixes):
     }
 
 
+def fmt_rate(v):
+    return f"{v / 1e6:.2f}M/s" if v >= 1e6 else f"{v / 1e3:.0f}k/s"
+
+
 def main():
     if len(sys.argv) < 4:
         sys.exit(__doc__)
@@ -36,16 +44,29 @@ def main():
     current = rows(current_path, prefixes)
     if not baseline:
         sys.exit(f"no baseline rows match {prefixes} in {baseline_path}")
+
+    name_w = max(len(n) for n in baseline) + 2
+    header = (
+        f"{'bench':<{name_w}} {'baseline':>10} {'current':>10} "
+        f"{'delta':>8} {'median ms':>10}  status"
+    )
+    print(header)
+    print("-" * len(header))
+
     failed = []
     for name, base in sorted(baseline.items()):
         cur = current.get(name)
         if cur is None:
+            print(f"{name:<{name_w}} {'(missing from current run)':>30}")
             failed.append(f"{name}: missing from {current_path}")
             continue
         b, c = base["events_per_sec"], cur["events_per_sec"]
         ratio = c / b
         status = "OK" if ratio >= 1.0 - max_drop else "FAIL"
-        print(f"{status:4} {name}: {b:,} -> {c:,} events/s ({ratio:.2f}x)")
+        print(
+            f"{name:<{name_w}} {fmt_rate(b):>10} {fmt_rate(c):>10} "
+            f"{ratio - 1.0:>+7.1%} {cur.get('median_ms', 0.0):>10.3f}  {status}"
+        )
         if status == "FAIL":
             failed.append(f"{name}: events/sec fell {1.0 - ratio:.0%} (limit {max_drop:.0%})")
     if failed:
