@@ -216,6 +216,28 @@ fn main() {
         sim.report().requests_completed
     });
 
+    // The live service front-end over the same machine: two tenants
+    // with QoS (rate limit + qd cap + backlog threshold), so the pacer,
+    // WRR arbitration, and admission control are all on the timed path.
+    // Guarded by perf_guard.py alongside fig08/fig12: the front-end is
+    // a per-submission loop, so a slowdown here is a pacer regression
+    // even when raw run_trace throughput is unchanged.
+    bench(&mut records, f, "serve_two_tenant_qos", || {
+        let spec = dssd_service::ServiceSpec::parse(
+            "duration_ms 3\nseed 17\nbacklog 192\n\
+             tenant a iops=120000 pages=4 read=0.3 rate=400000 burst=64 qd=48 weight=3\n\
+             tenant b iops=80000 pages=1 read=0.9 rate=100000 burst=16 qd=16\n",
+        )
+        .expect("bench spec parses");
+        let mut cfg = perf_config(Architecture::DssdFnoc);
+        cfg.gc_continuous = true;
+        let mut sim = SsdSim::new(cfg);
+        sim.prefill();
+        let report = dssd_service::serve(&spec, &mut sim);
+        note_events(sim.report().events_delivered);
+        report.completed()
+    });
+
     bench(&mut records, f, "event_queue_push_pop_10k", || {
         let mut q = dssd_kernel::EventQueue::new();
         for i in 0..10_000u64 {

@@ -21,7 +21,10 @@
 //!                     [--epoch-out FILE] [--epoch-ms MS]
 //!                     [--progress] [--no-noc-express]
 //! dssd-cli trace      --csv FILE --arch dssd_f [--ms 40]
-//! dssd-cli validate   [--trace FILE] [--epochs FILE]
+//! dssd-cli serve      --spec FILE [--arch dssd_f] [--batch] [--report FILE]
+//!                     [--trace-out FILE] [--trace-window MS] [--trace-summary]
+//!                     [--progress] [--no-noc-express]
+//! dssd-cli validate   [--trace FILE] [--epochs FILE] [--service FILE]
 //! dssd-cli crashpoints [--arch dssd_f] [--pages 8] [--ms 2] [--stride 500]
 //!                     [--seeds 1,2,3] [--journal-entries N]
 //!                     [--ckpt-interval-pages N]
@@ -57,6 +60,16 @@
 //! power loss on each fork, and verifies both crash-consistency
 //! invariants (no acknowledged write lost, no trimmed data resurrected).
 //!
+//! `serve` drives the live block-device front-end (`dssd-service`): the
+//! `--spec` file declares tenants, their offered load, and their QoS
+//! knobs (token-bucket rate limits, queue-depth caps, a global backlog
+//! threshold). The live run submits through per-tenant SQ/CQ rings with
+//! admission control; `--batch` replays the *same* deterministic
+//! submission schedule as a plain `run_trace`. For a spec with no QoS
+//! constraint the two modes print byte-identical stdout — CI diffs
+//! exactly that. `--report FILE` (live mode) writes the per-tenant
+//! `dssd-service-report-v1` JSON, checked by `validate --service`.
+//!
 //! `--progress` prints a once-per-second heartbeat (sim-time, events
 //! processed, events/sec) to stderr; stdout stays byte-identical.
 //! `--no-noc-express` disables the fNoC's contention-free express path
@@ -80,11 +93,12 @@ use dssd_ssd::{
     Architecture, DurabilityConfig, FaultConfig, PowerLossConfig, RunPlan, SimSnapshot,
     SsdConfig, SsdSim, StageKind, TraceConfig,
 };
-use dssd_telemetry::json::{validate_chrome_trace, validate_epoch_jsonl};
+use dssd_service::{serve, ServiceSpec};
+use dssd_telemetry::json::{validate_chrome_trace, validate_epoch_jsonl, validate_service_report};
 use dssd_telemetry::{chrome, Class, Stage};
 use dssd_workload::{msr, AccessPattern, SyntheticWorkload, Trace};
 
-const USAGE: &str = "usage: dssd-cli <run|sweep|trace|validate|crashpoints|endurance|noc|volumes> [--flags]
+const USAGE: &str = "usage: dssd-cli <run|sweep|trace|serve|validate|crashpoints|endurance|noc|volumes> [--flags]
 run 'dssd-cli <command> --help' is not needed: every flag has a default;
 see the crate docs (or the source header) for the full flag list.";
 
@@ -98,6 +112,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "sweep" => cmd_sweep(rest),
         "trace" => cmd_trace(rest),
+        "serve" => cmd_serve(rest),
         "validate" => cmd_validate(rest),
         "crashpoints" => cmd_crashpoints(rest),
         "endurance" => cmd_endurance(rest),
@@ -415,8 +430,13 @@ fn print_trace_summary(sim: &mut SsdSim) {
 /// `t_ms`). CI runs both on freshly exported files.
 fn cmd_validate(rest: &[String]) -> Result<(), ArgError> {
     let flags = Flags::parse(rest, &[])?;
-    if flags.get("trace").is_none() && flags.get("epochs").is_none() {
-        return Err(ArgError("validate needs --trace FILE and/or --epochs FILE".into()));
+    if flags.get("trace").is_none()
+        && flags.get("epochs").is_none()
+        && flags.get("service").is_none()
+    {
+        return Err(ArgError(
+            "validate needs --trace FILE, --epochs FILE and/or --service FILE".into(),
+        ));
     }
     if let Some(path) = flags.get("trace") {
         let doc = std::fs::read_to_string(path)
@@ -436,6 +456,16 @@ fn cmd_validate(rest: &[String]) -> Result<(), ArgError> {
         println!(
             "{path}: valid ({} samples, {} columns, monotonic t_ms)",
             stats.rows, stats.columns
+        );
+    }
+    if let Some(path) = flags.get("service") {
+        let doc = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+        let stats = validate_service_report(&doc)
+            .map_err(|e| ArgError(format!("{path}: invalid service report: {e}")))?;
+        println!(
+            "{path}: valid ({} tenants: {} submitted, {} completed, {} rejected)",
+            stats.tenants, stats.submitted, stats.completed, stats.rejected
         );
     }
     Ok(())
@@ -714,6 +744,68 @@ fn cmd_trace(rest: &[String]) -> Result<(), ArgError> {
         .accelerate(speedup)
         .to_requests(page_bytes, sim.ftl().lpn_count());
     sim.run_trace(requests, SimSpan::from_ms(ms));
+    print_report(&mut sim);
+    write_trace_outputs(&mut sim, &flags)?;
+    Ok(())
+}
+
+/// `serve` — the live multi-tenant front-end. Parses a tenant spec,
+/// drives the simulator through per-tenant SQ/CQ rings with QoS and
+/// admission control, and prints the standard device report. With
+/// `--batch` the *same* deterministic submission schedule is replayed
+/// as a plain `run_trace`; for a spec with no QoS constraint, live and
+/// batch stdout are byte-identical (the CI serve-smoke job diffs them).
+/// All service-mode accounting goes to stderr or `--report FILE` so the
+/// diffable stdout stays mode-independent.
+fn cmd_serve(rest: &[String]) -> Result<(), ArgError> {
+    let flags = Flags::parse(
+        rest,
+        &["batch", "gc-continuous", "no-noc-express", "progress", "trace-summary"],
+    )?;
+    let cfg = build_config(&flags)?;
+    let tracing = trace_config(&flags)?;
+    let path = flags
+        .get("spec")
+        .ok_or_else(|| ArgError("serve needs --spec FILE".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let spec = ServiceSpec::parse(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let batch = flags.switch("batch");
+    if batch && flags.get("report").is_some() {
+        return Err(ArgError(
+            "--report needs the live front-end (drop --batch)".into(),
+        ));
+    }
+    println!(
+        "serving {} tenants on {} for {} ms\n",
+        spec.tenants.len(),
+        cfg.architecture.label(),
+        spec.duration.as_ns() as f64 / 1e6
+    );
+    let mut sim = SsdSim::new(cfg);
+    sim.set_progress(flags.switch("progress"));
+    if let Some(tc) = tracing {
+        sim.enable_tracing(tc);
+    }
+    sim.prefill();
+    if batch {
+        let plan = spec.batch_requests(sim.ftl().lpn_count());
+        sim.run_trace(plan, spec.duration);
+    } else {
+        let mut report = serve(&spec, &mut sim);
+        for t in &report.tenants {
+            eprintln!(
+                "serve: tenant {} — {} submitted, {} completed, {} rejected, \
+                 {} throttled, {} expired",
+                t.name, t.submitted, t.completed, t.rejected, t.throttled, t.expired
+            );
+        }
+        if let Some(out) = flags.get("report") {
+            std::fs::write(out, report.to_json())
+                .map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+            eprintln!("serve: per-tenant report to {out}");
+        }
+    }
     print_report(&mut sim);
     write_trace_outputs(&mut sim, &flags)?;
     Ok(())

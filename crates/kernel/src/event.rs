@@ -28,6 +28,16 @@ const NUM_BUCKETS: usize = 4096;
 /// (FIFO tie-breaking), which makes every simulation built on this queue
 /// fully deterministic and replayable.
 ///
+/// Same-time ordering can additionally be biased with an explicit *rank*
+/// ([`EventQueue::push_ranked`]): at equal timestamps, lower ranks pop
+/// first regardless of push order, and FIFO applies within a rank. Plain
+/// [`EventQueue::push`] uses [`DEFAULT_RANK`]. Ranks exist so that a
+/// caller injecting events incrementally (e.g. a live host front-end
+/// feeding arrivals between steps) can reproduce the exact pop order of
+/// a caller that pushed the same events up front: give the incremental
+/// events a rank below `DEFAULT_RANK` and the tie-break no longer
+/// depends on *when* they were pushed.
+///
 /// # Implementation
 ///
 /// Two tiers: a bucketed *calendar* covering a sliding near-future
@@ -70,16 +80,25 @@ pub struct EventQueue<E> {
     popped: u64,
 }
 
+/// Rank assigned by [`EventQueue::push`]. Ranks below this pop first at
+/// equal timestamps; see [`EventQueue::push_ranked`].
+pub const DEFAULT_RANK: u8 = 1;
+
+/// Rank for host-arrival events: sorts before internally-scheduled events
+/// ([`DEFAULT_RANK`]) at the same instant, no matter when it was pushed.
+pub const ARRIVAL_RANK: u8 = 0;
+
 #[derive(Debug, Clone)]
 struct Entry<E> {
     time: SimTime,
+    rank: u8,
     seq: u64,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.rank == other.rank && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -90,7 +109,10 @@ impl<E> PartialOrd for Entry<E> {
 }
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+        self.time
+            .cmp(&other.time)
+            .then(self.rank.cmp(&other.rank))
+            .then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -113,11 +135,18 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedules `event` at absolute time `time`.
+    /// Schedules `event` at absolute time `time` with [`DEFAULT_RANK`].
     pub fn push(&mut self, time: SimTime, event: E) {
+        self.push_ranked(time, DEFAULT_RANK, event);
+    }
+
+    /// Schedules `event` at `time` with an explicit same-time rank.
+    /// At equal timestamps lower ranks pop first; within a rank, pushes
+    /// pop FIFO. See the type-level docs for why ranks exist.
+    pub fn push_ranked(&mut self, time: SimTime, rank: u8, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        let entry = Entry { time, seq, event };
+        let entry = Entry { time, rank, seq, event };
         let q = quantum(time);
         if q >= self.window_start_q + NUM_BUCKETS as u64 {
             self.far.push(Reverse(entry));
@@ -341,10 +370,10 @@ mod tests {
             HeapQueue { heap: BinaryHeap::new(), seq: 0 }
         }
 
-        fn push(&mut self, time: SimTime, event: E) {
+        fn push_ranked(&mut self, time: SimTime, rank: u8, event: E) {
             let seq = self.seq;
             self.seq += 1;
-            self.heap.push(Reverse(Entry { time, seq, event }));
+            self.heap.push(Reverse(Entry { time, rank, seq, event }));
         }
 
         fn pop(&mut self) -> Option<(SimTime, E)> {
@@ -388,8 +417,9 @@ mod tests {
                         _ => rng.range_u64(0..3 * window_ns),   // far tier
                     };
                     let t = SimTime::from_ns(now + horizon);
-                    calendar.push(t, id);
-                    reference.push(t, id);
+                    let rank = if rng.range_u64(0..4) == 0 { ARRIVAL_RANK } else { DEFAULT_RANK };
+                    calendar.push_ranked(t, rank, id);
+                    reference.push_ranked(t, rank, id);
                     id += 1;
                 }
             }
@@ -407,6 +437,67 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A lower-rank event pushed *after* a same-time default-rank event
+    /// still pops first: the rank decides the tie, not push order.
+    #[test]
+    fn lower_rank_wins_same_time_ties() {
+        let t = SimTime::from_ns(500);
+        let mut q = EventQueue::new();
+        q.push(t, "internal");
+        q.push_ranked(t, ARRIVAL_RANK, "arrival");
+        q.push(t, "internal2");
+        q.push_ranked(t, ARRIVAL_RANK, "arrival2");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["arrival", "arrival2", "internal", "internal2"]);
+    }
+
+    /// The pop order of ranked arrivals must not depend on whether they
+    /// were pushed up front (batch) or just-in-time between pops (live):
+    /// the exact invariant the service front-end relies on.
+    #[test]
+    fn rank_makes_push_time_irrelevant() {
+        let arrivals = [(10u64, "a0"), (20, "a1"), (20, "a2"), (35, "a3")];
+        let internals = [(10u64, "i0"), (20, "i1"), (35, "i2")];
+
+        // Batch: all arrivals first (lowest seqs), then internals.
+        let mut batch = EventQueue::new();
+        for &(t, e) in &arrivals {
+            batch.push_ranked(SimTime::from_ns(t), ARRIVAL_RANK, e);
+        }
+        for &(t, e) in &internals {
+            batch.push(SimTime::from_ns(t), e);
+        }
+        let batch_order: Vec<&str> =
+            std::iter::from_fn(|| batch.pop().map(|(_, e)| e)).collect();
+
+        // Live: internals first, arrivals injected interleaved with pops.
+        let mut live = EventQueue::new();
+        for &(t, e) in &internals {
+            live.push(SimTime::from_ns(t), e);
+        }
+        let mut live_order = Vec::new();
+        let mut pending = arrivals.iter().peekable();
+        loop {
+            // Inject every arrival due at or before the next pop instant.
+            while let Some(&&(t, e)) = pending.peek() {
+                let due = match live.peek_time() {
+                    Some(next) => SimTime::from_ns(t) <= next,
+                    None => true,
+                };
+                if !due {
+                    break;
+                }
+                live.push_ranked(SimTime::from_ns(t), ARRIVAL_RANK, e);
+                pending.next();
+            }
+            match live.pop() {
+                Some((_, e)) => live_order.push(e),
+                None => break,
+            }
+        }
+        assert_eq!(live_order, batch_order);
     }
 
     /// Ties pushed into different tiers (one far, one near after the

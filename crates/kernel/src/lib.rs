@@ -50,7 +50,7 @@ pub mod snap;
 pub mod stats;
 mod time;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, ARRIVAL_RANK, DEFAULT_RANK};
 pub use hash::{FxHashMap, FxHasher};
 pub use rng::Rng;
 pub use server::{BandwidthServer, ServerStats, Transfer};

@@ -153,13 +153,16 @@ impl BandwidthServer {
     }
 
     /// Fraction of `elapsed` the server spent busy serving `class`.
-    /// Returns 0 when `elapsed` is zero.
+    /// Returns 0 when `elapsed` is zero. Clamped to 1.0: a transfer
+    /// enqueued near the end of the window occupies the server past it
+    /// (`busy_until` can exceed the horizon), so raw busy/elapsed can
+    /// top 100% even though the resource is never oversubscribed.
     #[must_use]
     pub fn utilization(&self, class: usize, elapsed: SimSpan) -> f64 {
         if elapsed.is_zero() {
             return 0.0;
         }
-        self.class_stats(class).busy.as_ns() as f64 / elapsed.as_ns() as f64
+        (self.class_stats(class).busy.as_ns() as f64 / elapsed.as_ns() as f64).min(1.0)
     }
 }
 
@@ -204,6 +207,21 @@ mod tests {
         assert_eq!(s.total_busy(), SimSpan::from_ns(2000));
         let u = s.utilization(0, SimSpan::from_us(101));
         assert!(u < 0.001 + 2000.0 / 101_000.0);
+    }
+
+    #[test]
+    fn utilization_clamps_when_busy_straddles_window() {
+        // 10 µs of service enqueued at t=0, measured over a 1 µs window:
+        // the busy time straddles the window end, but the server can
+        // never be more than 100% occupied within it.
+        let mut s = BandwidthServer::new(gbps(1), SimSpan::ZERO);
+        s.enqueue(SimTime::ZERO, 10_000, 0);
+        let u = s.utilization(0, SimSpan::from_us(1));
+        assert!((u - 1.0).abs() < f64::EPSILON, "utilization {u} not clamped");
+        // Within-window busy time is still reported proportionally.
+        assert!(s.utilization(0, SimSpan::from_us(20)) < 1.0);
+        // And the zero-elapsed guard still short-circuits.
+        assert_eq!(s.utilization(0, SimSpan::ZERO), 0.0);
     }
 
     #[test]

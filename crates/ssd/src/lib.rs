@@ -50,7 +50,7 @@ pub use config::{
 pub use faults::{FaultConfig, FaultInjector, ReadFault};
 pub use metrics::{FaultCounters, RecoveryReport, RunReport, StageBreakdown, StageKind};
 pub use cache::WriteCache;
-pub use sim::{RunState, SsdSim, EPOCH_COLUMNS};
+pub use sim::{Completion, RunState, SsdSim, EPOCH_COLUMNS};
 pub use snapshot::{RunPlan, SimSnapshot};
 
 // Re-exported so embedders can read durability-model stats without a

@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, VecDeque};
 use dssd_ctrl::{CommandId, CommandKind, CommandQueue, DecoupledController, EccVerdict};
 use dssd_flash::{DieGrid, EraseOutcome, FlashOp, FlashOpKind, PageAddr, WearModel};
 use dssd_ftl::{AllocGroup, CopyGroup, Ftl, GcRound, Lpn, MetaStats, META_NO_TICKET};
-use dssd_kernel::{BandwidthServer, EventQueue, Rng, SimSpan, SimTime, Slab, SlabKey};
+use dssd_kernel::{BandwidthServer, EventQueue, Rng, SimSpan, SimTime, Slab, SlabKey, ARRIVAL_RANK};
 use dssd_noc::{Network, NocEvent, Packet};
 use dssd_telemetry::{Class, EpochSeries, Stage, TraceConfig, Tracer, Track};
 use dssd_workload::{Op, Request, SyntheticWorkload};
@@ -53,10 +53,28 @@ pub enum RunState {
     Done,
 }
 
+/// One completed host request, as observed by an embedding front-end via
+/// [`SsdSim::take_completions`]. The `tag` is the zero-based index of
+/// the request in start order, which — because the event queue delivers
+/// arrivals in injection order — equals its injection order, letting a
+/// front-end correlate completions with its own submissions without
+/// widening the event enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Zero-based start-order (= injection-order) index of the request.
+    pub tag: u64,
+    /// Completion instant.
+    pub at: SimTime,
+    /// The request completed but lost data (media failure).
+    pub failed: bool,
+}
+
 #[derive(Debug, Clone)]
 struct ReqState {
     op: Op,
     arrived: SimTime,
+    /// Start-order index, reported in [`Completion`]s.
+    tag: u64,
     pages_left: u32,
     total_pages: u32,
     spans: Vec<(StageKind, SimSpan)>,
@@ -315,6 +333,11 @@ pub struct SsdSim {
     power_at_event: Option<u64>,
     /// True after a power loss: volatile state is gone, the run is over.
     halted: bool,
+    /// Start-order counter backing [`Completion::tag`].
+    next_tag: u64,
+    /// Completion log for embedding front-ends; `None` (the default)
+    /// keeps the hot path allocation-free.
+    completions: Option<Vec<Completion>>,
 }
 
 /// Stderr heartbeat state for [`SsdSim::set_progress`]: reports sim-time,
@@ -598,6 +621,8 @@ impl SsdSim {
             power_at,
             power_at_event,
             halted: false,
+            next_tag: 0,
+            completions: None,
         }
     }
 
@@ -661,20 +686,58 @@ impl SsdSim {
 
     /// Replays an open-loop request schedule (e.g. from a trace), capped
     /// at `duration`.
+    ///
+    /// Arrivals are pushed at [`ARRIVAL_RANK`], so a live front-end
+    /// injecting the same schedule incrementally between steps
+    /// ([`SsdSim::inject_arrival`]) pops every event in the exact same
+    /// order and produces a bit-identical [`RunReport`].
     pub fn run_trace(
         &mut self,
         requests: Vec<(SimTime, Request)>,
         duration: SimSpan,
     ) -> &RunReport {
-        self.begin_run(duration);
+        self.begin_open_loop(duration);
         for (t, r) in requests {
-            if t <= self.horizon {
-                self.queue.push(t, Ev::Arrive(r));
-            }
+            self.inject_arrival(t, r);
         }
-        self.arm_scan();
         self.run_events(u64::MAX);
         self.finish_run()
+    }
+
+    /// Arms an open-loop run without any arrivals: pair with
+    /// [`SsdSim::inject_arrival`] / [`SsdSim::run_until_before`] /
+    /// [`SsdSim::run_events`] to drive the sim from a live front-end,
+    /// then [`SsdSim::finish_run`]. `begin_open_loop` + injecting a
+    /// schedule + `run_events(u64::MAX)` + `finish_run` is exactly
+    /// [`SsdSim::run_trace`].
+    pub fn begin_open_loop(&mut self, duration: SimSpan) {
+        self.begin_run(duration);
+        self.arm_scan();
+    }
+
+    /// Schedules a host request arrival at absolute time `t`. Returns
+    /// `false` (and schedules nothing) when `t` is past the horizon,
+    /// mirroring [`SsdSim::run_trace`]'s filter.
+    ///
+    /// Arrivals carry a rank below every internally-scheduled event, so
+    /// the pop order — and therefore the whole simulation — depends only
+    /// on the arrival schedule, not on *when* each arrival was pushed.
+    /// Injecting between steps is only safe at instants the loop has not
+    /// reached: advance with [`SsdSim::run_until_before`]`(t)`, inject
+    /// at `t`, repeat.
+    pub fn inject_arrival(&mut self, t: SimTime, r: Request) -> bool {
+        if t > self.horizon {
+            return false;
+        }
+        debug_assert!(t >= self.now, "arrival injected in the past");
+        self.queue.push_ranked(t, ARRIVAL_RANK, Ev::Arrive(r));
+        true
+    }
+
+    /// The run horizon set by the active `begin_*` call.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
     }
 
     /// Arms a closed-loop run without driving it: pair with
@@ -780,6 +843,28 @@ impl SsdSim {
         &self.tracer
     }
 
+    /// Mutable span tracer, so an embedding front-end can emit its own
+    /// observational spans (e.g. per-tenant lanes) into the same trace.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Enables (or disables) the completion log drained by
+    /// [`SsdSim::take_completions`]. Observational only: the log never
+    /// schedules events or draws random numbers.
+    pub fn set_completion_log(&mut self, on: bool) {
+        self.completions = on.then(Vec::new);
+    }
+
+    /// Drains completions recorded since the last drain. Empty unless
+    /// [`SsdSim::set_completion_log`] enabled the log.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        match self.completions.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
     /// The collected epoch time-series, if epoch sampling is enabled.
     #[must_use]
     pub fn epoch_series(&self) -> Option<&EpochSeries> {
@@ -854,6 +939,25 @@ impl SsdSim {
         loop {
             match self.queue.peek_time() {
                 Some(next) if next <= t => {}
+                _ => return RunState::Paused,
+            }
+            match self.run_events(1) {
+                RunState::Paused => {}
+                done => return done,
+            }
+        }
+    }
+
+    /// Steps until the next pending event would land at or after `t`:
+    /// the safe point to [`inject`](SsdSim::inject_arrival) an arrival
+    /// at `t`, because no event at `t` has popped yet — the arrival's
+    /// rank then places it exactly where a batch push would have.
+    /// Returns [`RunState::Paused`] with events at or after `t` still
+    /// pending.
+    pub fn run_until_before(&mut self, t: SimTime) -> RunState {
+        loop {
+            match self.queue.peek_time() {
+                Some(next) if next < t => {}
                 _ => return RunState::Paused,
             }
             match self.run_events(1) {
@@ -1179,9 +1283,12 @@ impl SsdSim {
 
     fn start_request(&mut self, r: Request) {
         self.outstanding += 1;
+        let tag = self.next_tag;
+        self.next_tag += 1;
         let id = self.requests.insert(ReqState {
             op: r.op,
             arrived: self.now,
+            tag,
             pages_left: r.pages,
             total_pages: r.pages,
             spans: Vec::new(),
@@ -1438,6 +1545,9 @@ impl SsdSim {
         self.report.io_bw.record(self.now, self.page_bytes(state.total_pages));
         self.report.io_breakdown.record(&state.spans);
         self.report.requests_completed += 1;
+        if let Some(log) = self.completions.as_mut() {
+            log.push(Completion { tag: state.tag, at: self.now, failed: state.failed });
+        }
         if self.workload.is_some() {
             self.queue.push(self.now, Ev::Admit);
         }

@@ -1,0 +1,169 @@
+//! Stepping-equivalence gates: slicing a run into arbitrary
+//! `run_events` / `run_until` / `run_until_before` pieces must be
+//! invisible — the final state, report, and event accounting must be
+//! byte-identical to one uninterrupted `run_events(u64::MAX)`.
+//!
+//! This is the foundation the live service front-end stands on: the
+//! pacer may stop the simulator at every submission instant, and none
+//! of those stops may perturb the machine. The seeded test below runs
+//! in tier 1; the `proptest` variant explores adversarial granularity
+//! sequences when the optional dev-dependency is restored.
+
+use dssd_kernel::{Rng, SimSpan};
+use dssd_ssd::{Architecture, RunState, SsdConfig, SsdSim};
+use dssd_workload::{open_loop_schedule, AccessPattern, SyntheticWorkload};
+
+fn tiny_sim() -> SsdSim {
+    let mut sim = SsdSim::new(SsdConfig::test_tiny(Architecture::DssdFnoc));
+    sim.prefill();
+    sim
+}
+
+fn fingerprint(sim: &mut SsdSim) -> String {
+    let digest = sim.state_digest();
+    let events = sim.events_handled();
+    let p99 = sim.report_mut().latency_percentile(0.99).as_ns();
+    let r = sim.report();
+    format!(
+        "digest={digest:016x} events={events} delivered={} req={} io_bytes={} gc_pages={} mean_ns={} p99_ns={}",
+        r.events_delivered,
+        r.requests_completed,
+        r.io_bw.total_bytes(),
+        r.gc_pages_copied,
+        r.mean_latency().as_ns(),
+        p99,
+    )
+}
+
+/// Steps `sim` to completion using a `choices`-driven mix of stepping
+/// primitives, then finalizes it. Every choice `(kind, amount)` maps to
+/// one of the three public stepping calls.
+fn step_to_completion(sim: &mut SsdSim, choices: impl Iterator<Item = (u8, u64)>) {
+    for (kind, amount) in choices {
+        let state = match kind % 3 {
+            0 => sim.run_events(1 + amount % 256),
+            1 => sim.run_until(sim.now() + SimSpan::from_ns(1 + amount % 300_000)),
+            _ => sim.run_until_before(sim.now() + SimSpan::from_ns(1 + amount % 300_000)),
+        };
+        if state == RunState::Done {
+            // Done means the run is over — the queue drained or the one
+            // beyond-horizon pop (part of the event-count fingerprint)
+            // already happened. Running further would pop a second one
+            // the batch path never sees.
+            sim.finish_run();
+            return;
+        }
+    }
+    // Choices exhausted first: run out the clock like the batch path.
+    sim.run_events(u64::MAX);
+    sim.finish_run();
+}
+
+fn open_loop_plan() -> Vec<(dssd_kernel::SimTime, dssd_workload::Request)> {
+    let wl = SyntheticWorkload::mixed(AccessPattern::Random, 4, 0.5).bind(1 << 15);
+    let mut rng = Rng::new(77);
+    open_loop_schedule(wl, 120_000.0, SimSpan::from_ms(4), &mut rng)
+}
+
+#[test]
+fn seeded_interleaved_stepping_matches_single_run_open_loop() {
+    let plan = open_loop_plan();
+
+    let mut batch = tiny_sim();
+    batch.run_trace(plan.clone(), SimSpan::from_ms(4));
+    let want = fingerprint(&mut batch);
+
+    for seed in [1u64, 42, 1234] {
+        let mut stepped = tiny_sim();
+        stepped.begin_open_loop(SimSpan::from_ms(4));
+        for (t, r) in plan.clone() {
+            stepped.inject_arrival(t, r);
+        }
+        let mut rng = Rng::new(seed);
+        step_to_completion(
+            &mut stepped,
+            std::iter::from_fn(move || Some((rng.next_u64() as u8, rng.next_u64()))).take(10_000),
+        );
+        assert_eq!(
+            fingerprint(&mut stepped),
+            want,
+            "granularity seed {seed} perturbed the open-loop run"
+        );
+    }
+}
+
+#[test]
+fn seeded_interleaved_stepping_matches_single_run_closed_loop() {
+    let wl = || SyntheticWorkload::writes(AccessPattern::Random, 8);
+    let mut batch = tiny_sim();
+    batch.run_closed_loop(wl(), SimSpan::from_ms(4));
+    let want = fingerprint(&mut batch);
+
+    for seed in [7u64, 99] {
+        let mut stepped = tiny_sim();
+        stepped.begin_closed_loop(wl(), SimSpan::from_ms(4));
+        let mut rng = Rng::new(seed);
+        step_to_completion(
+            &mut stepped,
+            std::iter::from_fn(move || Some((rng.next_u64() as u8, rng.next_u64()))).take(10_000),
+        );
+        assert_eq!(
+            fingerprint(&mut stepped),
+            want,
+            "granularity seed {seed} perturbed the closed-loop run"
+        );
+    }
+}
+
+/// Injecting arrivals live between steps (the service pacer's exact
+/// access pattern) must also be invisible: advance to just before each
+/// arrival, inject it, repeat.
+#[test]
+fn live_injection_between_steps_matches_upfront_push() {
+    let plan = open_loop_plan();
+
+    let mut batch = tiny_sim();
+    batch.run_trace(plan.clone(), SimSpan::from_ms(4));
+    let want = fingerprint(&mut batch);
+
+    let mut live = tiny_sim();
+    live.begin_open_loop(SimSpan::from_ms(4));
+    for (t, r) in plan {
+        live.run_until_before(t);
+        live.inject_arrival(t, r);
+    }
+    live.run_events(u64::MAX);
+    live.finish_run();
+    assert_eq!(fingerprint(&mut live), want, "live injection perturbed the run");
+}
+
+#[cfg(feature = "proptest")]
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Arbitrary (kind, amount) stepping programs never diverge
+        /// from the single uninterrupted run.
+        #[test]
+        fn arbitrary_stepping_matches_single_run(
+            choices in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..400),
+        ) {
+            let plan = open_loop_plan();
+
+            let mut batch = tiny_sim();
+            batch.run_trace(plan.clone(), SimSpan::from_ms(4));
+            let want = fingerprint(&mut batch);
+
+            let mut stepped = tiny_sim();
+            stepped.begin_open_loop(SimSpan::from_ms(4));
+            for (t, r) in plan {
+                stepped.inject_arrival(t, r);
+            }
+            step_to_completion(&mut stepped, choices.into_iter());
+            prop_assert_eq!(fingerprint(&mut stepped), want);
+        }
+    }
+}

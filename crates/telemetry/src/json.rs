@@ -487,6 +487,121 @@ pub fn validate_epoch_jsonl(input: &str) -> Result<EpochFileStats, JsonError> {
     Ok(stats)
 }
 
+/// Stats from a validated `ServiceReport` JSON document.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceFileStats {
+    /// Tenant entries.
+    pub tenants: usize,
+    /// Total submissions across tenants.
+    pub submitted: u64,
+    /// Total completions across tenants.
+    pub completed: u64,
+    /// Total admission rejections (`Busy` completions) across tenants.
+    pub rejected: u64,
+}
+
+/// Per-tenant counter fields every `ServiceReport` tenant entry carries.
+const SERVICE_TENANT_COUNTERS: [&str; 6] =
+    ["submitted", "completed", "rejected", "throttled", "expired", "failed"];
+
+/// Latency-percentile fields every tenant entry carries, in
+/// non-decreasing order.
+const SERVICE_TENANT_LATENCIES: [&str; 4] = ["p50_us", "p95_us", "p99_us", "max_us"];
+
+/// Validate a `ServiceReport` document emitted by `dssd-cli serve`.
+///
+/// Checks: top level is an object with `"schema": "dssd-service-report-v1"`,
+/// a finite `duration_ms`, and a non-empty `tenants` array; every tenant
+/// entry has a unique string `name`, non-negative integer counters
+/// ([`SERVICE_TENANT_COUNTERS`]), finite non-decreasing latency
+/// percentiles ([`SERVICE_TENANT_LATENCIES`]); and per-tenant accounting
+/// conserves requests (`completed + rejected + expired ≤ submitted` —
+/// the remainder is in flight at the horizon, never lost).
+///
+/// # Errors
+///
+/// Returns the first schema violation found, or the underlying parse
+/// error.
+pub fn validate_service_report(input: &str) -> Result<ServiceFileStats, JsonError> {
+    let doc = parse(input)?;
+    let fail = |msg: String| JsonError { message: msg, offset: 0 };
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("dssd-service-report-v1") => {}
+        other => {
+            return Err(fail(format!(
+                "expected \"schema\": \"dssd-service-report-v1\", found {other:?}"
+            )))
+        }
+    }
+    match doc.get("duration_ms").and_then(Json::as_f64) {
+        Some(d) if d.is_finite() && d >= 0.0 => {}
+        _ => return Err(fail("missing finite non-negative 'duration_ms'".into())),
+    }
+    let tenants = doc
+        .get("tenants")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| fail("missing 'tenants' array".into()))?;
+    if tenants.is_empty() {
+        return Err(fail("'tenants' array is empty".into()));
+    }
+    let mut stats = ServiceFileStats::default();
+    let mut names = std::collections::BTreeSet::new();
+    for (i, tenant) in tenants.iter().enumerate() {
+        let fail = |msg: String| JsonError {
+            message: format!("tenants[{i}]: {msg}"),
+            offset: 0,
+        };
+        let name = tenant
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing string 'name'".into()))?;
+        if !names.insert(name.to_string()) {
+            return Err(fail(format!("duplicate tenant name '{name}'")));
+        }
+        let counter = |key: &str| -> Result<u64, JsonError> {
+            match tenant.get(key).and_then(Json::as_f64) {
+                Some(v) if v >= 0.0 && v.fract() == 0.0 => Ok(v as u64),
+                _ => Err(fail(format!("'{key}' must be a non-negative integer"))),
+            }
+        };
+        let mut counts = [0u64; SERVICE_TENANT_COUNTERS.len()];
+        for (slot, key) in counts.iter_mut().zip(SERVICE_TENANT_COUNTERS) {
+            *slot = counter(key)?;
+        }
+        let [submitted, completed, rejected, _throttled, expired, failed] = counts;
+        if completed + rejected + expired > submitted {
+            return Err(fail(format!(
+                "accounting violation: completed {completed} + rejected {rejected} \
+                 + expired {expired} exceeds submitted {submitted}"
+            )));
+        }
+        if failed > completed {
+            return Err(fail(format!(
+                "failed {failed} exceeds completed {completed}"
+            )));
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for key in SERVICE_TENANT_LATENCIES {
+            match tenant.get(key).and_then(Json::as_f64) {
+                Some(v) if v.is_finite() && v >= 0.0 => {
+                    if v < prev {
+                        return Err(fail(format!(
+                            "'{key}' ({v}) regresses below the previous percentile ({prev})"
+                        )));
+                    }
+                    prev = v;
+                }
+                _ => return Err(fail(format!("missing finite '{key}'"))),
+            }
+        }
+        stats.tenants += 1;
+        stats.submitted += submitted;
+        stats.completed += completed;
+        stats.rejected += rejected;
+    }
+    Ok(stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,6 +679,53 @@ mod tests {
         assert!(validate_epoch_jsonl(not_object).is_err());
         let garbage = "{\"t_ms\":1}\nnot json";
         assert!(validate_epoch_jsonl(garbage).unwrap_err().message.starts_with("line 2"));
+    }
+
+    fn tenant_json(name: &str, submitted: u64, completed: u64, rejected: u64) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"submitted\":{submitted},\"completed\":{completed},\
+             \"rejected\":{rejected},\"throttled\":0,\"expired\":0,\"failed\":0,\
+             \"p50_us\":10.0,\"p95_us\":20.0,\"p99_us\":30.5,\"max_us\":31.0}}"
+        )
+    }
+
+    fn report_json(tenants: &[String]) -> String {
+        format!(
+            "{{\"schema\":\"dssd-service-report-v1\",\"duration_ms\":5.0,\
+             \"tenants\":[{}]}}",
+            tenants.join(",")
+        )
+    }
+
+    #[test]
+    fn validates_a_wellformed_service_report() {
+        let doc = report_json(&[tenant_json("a", 10, 8, 1), tenant_json("b", 4, 4, 0)]);
+        let stats = validate_service_report(&doc).unwrap();
+        assert_eq!(
+            stats,
+            ServiceFileStats { tenants: 2, submitted: 14, completed: 12, rejected: 1 }
+        );
+    }
+
+    #[test]
+    fn service_validator_rejects_violations() {
+        let bad_schema = "{\"schema\":\"nope\",\"duration_ms\":1,\"tenants\":[]}";
+        assert!(validate_service_report(bad_schema).unwrap_err().message.contains("schema"));
+        let empty = report_json(&[]);
+        assert!(validate_service_report(&empty).unwrap_err().message.contains("empty"));
+        let dup = report_json(&[tenant_json("a", 1, 1, 0), tenant_json("a", 1, 1, 0)]);
+        assert!(validate_service_report(&dup).unwrap_err().message.contains("duplicate"));
+        // completed + rejected exceeding submitted = lost/duplicated requests.
+        let leak = report_json(&[tenant_json("a", 5, 5, 1)]);
+        assert!(validate_service_report(&leak).unwrap_err().message.contains("accounting"));
+        // Percentiles must be non-decreasing.
+        let doc = report_json(&[tenant_json("a", 2, 2, 0)]).replace("\"p99_us\":30.5", "\"p99_us\":5");
+        assert!(validate_service_report(&doc).unwrap_err().message.contains("regresses"));
+        // Counters must be integers.
+        let doc = report_json(&[tenant_json("a", 2, 2, 0)]).replace("\"rejected\":0", "\"rejected\":0.5");
+        assert!(validate_service_report(&doc).unwrap_err().message.contains("integer"));
+        let no_tenants = "{\"schema\":\"dssd-service-report-v1\",\"duration_ms\":1}";
+        assert!(validate_service_report(no_tenants).unwrap_err().message.contains("tenants"));
     }
 
     #[test]

@@ -114,6 +114,9 @@ pub enum Track {
     Faults,
     /// Simulator-level markers (GC rounds, end-of-life).
     Sim,
+    /// Per-tenant service lane `i` (request lifecycles and QoS markers
+    /// emitted by the `dssd-service` front-end).
+    Tenant(u16),
 }
 
 impl Track {
@@ -128,6 +131,7 @@ impl Track {
             Track::Die(_) => 5,
             Track::Router(_) | Track::NocTransit => 6,
             Track::Faults | Track::Sim => 7,
+            Track::Tenant(_) => 8,
         }
     }
 
@@ -146,6 +150,7 @@ impl Track {
             Track::Router(r) => u64::from(r) + 1,
             Track::Faults => 1,
             Track::Sim => 2,
+            Track::Tenant(i) => u64::from(i),
         }
     }
 
@@ -159,7 +164,8 @@ impl Track {
             4 => "flash channels",
             5 => "dies",
             6 => "fnoc",
-            _ => "events",
+            7 => "events",
+            _ => "tenants",
         }
     }
 
@@ -179,6 +185,7 @@ impl Track {
             Track::NocTransit => "transit".into(),
             Track::Faults => "faults".into(),
             Track::Sim => "sim".into(),
+            Track::Tenant(i) => format!("tenant {i}"),
         }
     }
 }
@@ -293,6 +300,9 @@ mod tests {
             Track::NocTransit,
             Track::Faults,
             Track::Sim,
+            Track::Tenant(0),
+            Track::Tenant(1),
+            Track::Tenant(15),
         ];
         let mut seen = std::collections::HashSet::new();
         for l in lanes {
