@@ -68,8 +68,18 @@ fn bench<T>(out: &mut Vec<BenchRecord>, filter: &[String], name: &str, mut f: im
 }
 
 fn synthetic(arch: Architecture, pages: u32, hit: f64) -> f64 {
+    synthetic_fx(arch, pages, hit, true)
+}
+
+/// [`synthetic`] with the flash-side express path set explicitly, for
+/// the A/B rows: `express = false` is the unmodified one-event-at-a-time
+/// reference engine, `true` (the default everywhere else) adds the
+/// flash-leg chain walk and quiet-router skips. Reports are identical
+/// either way; only wall time differs.
+fn synthetic_fx(arch: Architecture, pages: u32, hit: f64, express: bool) -> f64 {
     let mut cfg = perf_config(arch);
     cfg.gc_continuous = true;
+    cfg.flash_express = express;
     let s = run_synthetic(cfg, AccessPattern::Random, pages, 0.0, hit, SimSpan::from_ms(MS));
     note_events(s.events);
     s.io_gbps
@@ -90,7 +100,10 @@ fn main() {
     });
 
     bench(&mut records, f, "fig02_timeline_baseline", || {
-        dssd_bench::run_timeline(perf_config(Architecture::Baseline), 8, SimSpan::from_ms(MS))
+        let (series, first_gc, events) =
+            dssd_bench::run_timeline(perf_config(Architecture::Baseline), 8, SimSpan::from_ms(MS));
+        note_events(events);
+        (series, first_gc)
     });
 
     for arch in Architecture::all() {
@@ -98,6 +111,15 @@ fn main() {
             synthetic(arch, 8, 0.0)
         });
     }
+
+    // Flash-side express A/B partner for the dSSD_f row above (which
+    // runs with the default `flash_express = true`): the same point on
+    // the unmodified event-at-a-time engine. perf_guard gates both rows,
+    // and their events/sec ratio in `results/bench.json` is the measured
+    // express speedup on a flash-dominated point.
+    bench(&mut records, f, "fig07_architectures/dSSD_f_no_express", || {
+        synthetic_fx(Architecture::DssdFnoc, 8, 0.0, false)
+    });
 
     // A/B pair: the same fNoC-heavy point with the express path on
     // (default) and off, so `results/bench.json` records the express
@@ -114,13 +136,20 @@ fn main() {
         });
     }
 
-    // The same five-architecture sweep as fig07, fanned out through the
-    // parallel runner: jobs1 vs jobsN wall times in `results/bench.json`
-    // give the sweep's multicore scaling, and the per-point summaries
-    // are bit-identical either way (see `runner` tests).
+    // The Fig 8 on-chip-factor sweep fanned out through the parallel
+    // runner: jobs1 vs jobsN wall times in `results/bench.json` give the
+    // sweep's multicore scaling, and the per-point summaries are
+    // bit-identical either way (see `runner` tests). The five-architecture
+    // sweep is deliberately NOT used here: its dSSD_f point holds ~99% of
+    // the events, so by Amdahl's law extra cores could never show — every
+    // factor point below is a full-rate dSSD_f run of comparable weight.
     for (tag, jobs) in [("jobs1", 1), ("jobsN", dssd_kernel::parallel::default_jobs())] {
-        bench(&mut records, f, &format!("sweep_runner_fig07_archs/{tag}"), || {
-            let points = runner::architecture_sweep(SimSpan::from_ms(MS), true);
+        bench(&mut records, f, &format!("sweep_runner_fig08_factors/{tag}"), || {
+            let points = runner::onchip_factor_sweep(
+                Architecture::DssdFnoc,
+                &[1.0, 1.25, 1.5, 2.0],
+                SimSpan::from_ms(MS),
+            );
             let out = runner::run_sweep(&points, jobs);
             note_events(out.iter().map(|o| o.summary.events).sum());
             out.len()
@@ -131,9 +160,14 @@ fn main() {
         synthetic(Architecture::DssdFnoc, 8, 0.0)
     });
 
-    bench(&mut records, f, "fig10_dram_hit_tails", || {
-        synthetic(Architecture::DssdFnoc, 8, 1.0)
-    });
+    // Same flash-express A/B pairing as the fig07 dSSD_f rows: the
+    // all-DRAM-hit point is NoC- and DRAM-leg-heavy, so it exercises the
+    // chain walk on a different event mix.
+    for (tag, express) in [("express", true), ("no_express", false)] {
+        bench(&mut records, f, &format!("fig10_dram_hit_tails/{tag}"), || {
+            synthetic_fx(Architecture::DssdFnoc, 8, 1.0, express)
+        });
+    }
 
     let profile = msr::profile("prn_0").unwrap();
     bench(&mut records, f, "fig11_trace_replay", || {
@@ -175,7 +209,9 @@ fn main() {
 
     for policy in SuperblockPolicy::all() {
         bench(&mut records, f, &format!("fig14_endurance/{}", policy.label()), || {
-            EnduranceSim::new(EnduranceConfig::test_small()).run(policy)
+            let report = EnduranceSim::new(EnduranceConfig::test_small()).run(policy);
+            note_events(report.erase_ops);
+            report
         });
     }
 
@@ -189,7 +225,9 @@ fn main() {
 
     bench(&mut records, f, "fig16_srt_capacity_run", || {
         let cfg = EnduranceConfig { srt_entries: 64, ..EnduranceConfig::test_small() };
-        EnduranceSim::new(cfg).run(SuperblockPolicy::Recycled)
+        let report = EnduranceSim::new(cfg).run(SuperblockPolicy::Recycled);
+        note_events(report.erase_ops);
+        report
     });
 
     bench(&mut records, f, "write_cache_hot_set", || {

@@ -16,7 +16,7 @@ fn main() {
         // a clean no-GC phase, as in the paper's timeline.
         let mut cfg = perf_config(Architecture::Baseline);
         cfg.prefill_target_free = 12;
-        let (series, first_gc) = run_timeline(cfg, pages, SimSpan::from_ms(40));
+        let (series, first_gc, _events) = run_timeline(cfg, pages, SimSpan::from_ms(40));
         if let Some(t) = first_gc {
             println!("GC active from {:.1} ms onward", t.as_ms_f64());
         }

@@ -142,12 +142,13 @@ pub type TimelineSample = (f64, f64, f64, f64);
 
 /// Runs a closed-loop workload and returns the full [`RunReport`]-derived
 /// timeline series (see [`TimelineSample`]) for Fig 2-style plots, plus
-/// when GC first triggered.
+/// when GC first triggered and how many kernel events the run delivered
+/// (deterministic per config, so benches can report events/sec).
 pub fn run_timeline(
     config: SsdConfig,
     request_pages: u32,
     duration: SimSpan,
-) -> (Vec<TimelineSample>, Option<SimTime>) {
+) -> (Vec<TimelineSample>, Option<SimTime>, u64) {
     let mut sim = SsdSim::new(config);
     sim.prefill();
     // Random addressing: on the paper's 1 TB drive a sequential stream
@@ -173,7 +174,7 @@ pub fn run_timeline(
             )
         })
         .collect();
-    (series, report.first_gc_at)
+    (series, report.first_gc_at, report.events_delivered)
 }
 
 #[cfg(test)]
@@ -207,13 +208,14 @@ mod tests {
 
     #[test]
     fn timeline_has_gc_marker() {
-        let (series, first_gc) = run_timeline(
+        let (series, first_gc, events) = run_timeline(
             perf_config(Architecture::Baseline),
             8,
             SimSpan::from_ms(10),
         );
         assert!(series.len() >= 9);
         assert!(first_gc.is_some());
+        assert!(events > 1000, "only {events} events");
         assert!(series.iter().any(|&(_, io, _, _)| io > 0.1));
     }
 

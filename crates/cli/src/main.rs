@@ -12,18 +12,18 @@
 //!                     [--snapshot-at-ms MS] [--snapshot-out FILE] [--resume FILE]
 //!                     [--trace-out FILE] [--trace-window MS] [--trace-summary]
 //!                     [--epoch-out FILE] [--epoch-ms MS]
-//!                     [--progress] [--no-noc-express]
+//!                     [--progress] [--no-noc-express] [--no-flash-express]
 //! dssd-cli sweep      [--arch all|dssd_f] [--factors 1.0,1.5,2.0] [--jobs N]
 //!                     [--pages 8] [--ms 5] [--seed N] [--gc-continuous]
 //!                     [--json FILE]
 //! dssd-cli trace      --volume prn_0 --arch baseline [--speedup 10] [--ms 40]
 //!                     [--trace-out FILE] [--trace-window MS] [--trace-summary]
 //!                     [--epoch-out FILE] [--epoch-ms MS]
-//!                     [--progress] [--no-noc-express]
+//!                     [--progress] [--no-noc-express] [--no-flash-express]
 //! dssd-cli trace      --csv FILE --arch dssd_f [--ms 40]
 //! dssd-cli serve      --spec FILE [--arch dssd_f] [--batch] [--report FILE]
 //!                     [--trace-out FILE] [--trace-window MS] [--trace-summary]
-//!                     [--progress] [--no-noc-express]
+//!                     [--progress] [--no-noc-express] [--no-flash-express]
 //! dssd-cli validate   [--trace FILE] [--epochs FILE] [--service FILE]
 //! dssd-cli crashpoints [--arch dssd_f] [--pages 8] [--ms 2] [--stride 500]
 //!                     [--seeds 1,2,3] [--journal-entries N]
@@ -75,7 +75,10 @@
 //! `--no-noc-express` disables the fNoC's contention-free express path
 //! and forces pure flit-level simulation — results are bit-identical
 //! either way, so this only matters when debugging a suspected
-//! divergence (see DESIGN.md §10).
+//! divergence (see DESIGN.md §10). `--no-flash-express` does the same
+//! for the flash-side express path (analytic leg-chain coalescing, the
+//! NoC event burst loop, and the quiet-router sweep skip — DESIGN.md
+//! §13): byte-identical output, one-event-at-a-time execution.
 
 mod args;
 
@@ -159,6 +162,11 @@ fn build_config(flags: &Flags) -> Result<SsdConfig, ArgError> {
         // Escape hatch for debugging suspected express-path divergence:
         // force flit-level simulation (bit-identical, just slower).
         cfg.noc = cfg.noc.with_express(false);
+    }
+    if flags.switch("no-flash-express") {
+        // Same escape hatch for the flash-side express path (DESIGN.md
+        // §13): fall back to one-event-at-a-time execution.
+        cfg.flash_express = false;
     }
     Ok(cfg)
 }
@@ -476,7 +484,7 @@ fn cmd_validate(rest: &[String]) -> Result<(), ArgError> {
 /// and verify the mount recovers with both invariants intact. Exits
 /// non-zero on any violation.
 fn cmd_crashpoints(rest: &[String]) -> Result<(), ArgError> {
-    let flags = Flags::parse(rest, &["gc-continuous", "no-noc-express"])?;
+    let flags = Flags::parse(rest, &["gc-continuous", "no-flash-express", "no-noc-express"])?;
     let mut base = build_config(&flags)?;
     if base.durability.is_none() {
         base.durability = Some(DurabilityConfig::default());
@@ -553,6 +561,7 @@ fn cmd_run(rest: &[String]) -> Result<(), ArgError> {
             "dram-hit",
             "durable",
             "gc-continuous",
+            "no-flash-express",
             "no-noc-express",
             "no-prefill",
             "progress",
@@ -706,7 +715,10 @@ fn cmd_sweep(rest: &[String]) -> Result<(), ArgError> {
 
 fn cmd_trace(rest: &[String]) -> Result<(), ArgError> {
     let flags =
-        Flags::parse(rest, &["gc-continuous", "no-noc-express", "progress", "trace-summary"])?;
+        Flags::parse(
+        rest,
+        &["gc-continuous", "no-flash-express", "no-noc-express", "progress", "trace-summary"],
+    )?;
     let mut cfg = build_config(&flags)?;
     cfg.gc_continuous = true;
     let tracing = trace_config(&flags)?;
@@ -760,7 +772,7 @@ fn cmd_trace(rest: &[String]) -> Result<(), ArgError> {
 fn cmd_serve(rest: &[String]) -> Result<(), ArgError> {
     let flags = Flags::parse(
         rest,
-        &["batch", "gc-continuous", "no-noc-express", "progress", "trace-summary"],
+        &["batch", "gc-continuous", "no-flash-express", "no-noc-express", "progress", "trace-summary"],
     )?;
     let cfg = build_config(&flags)?;
     let tracing = trace_config(&flags)?;

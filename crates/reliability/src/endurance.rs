@@ -179,6 +179,11 @@ pub struct EnduranceReport {
     pub initial_visible: u32,
     /// Superblock fills performed.
     pub fills: u64,
+    /// Block erase operations performed (one per constituent block per
+    /// fill) — the run's deterministic unit of work, reported as the
+    /// event count in `results/bench.json` so the perf guard can gate
+    /// the endurance benches on events/sec.
+    pub erase_ops: u64,
     /// Injected power losses, in order (empty when injection is off).
     pub power_loss_points: Vec<PowerLossPoint>,
     /// Mapping-journal pages flushed ([`EnduranceConfig::journal`]).
@@ -419,6 +424,7 @@ impl EnduranceSim {
             remap_events: 0,
             initial_visible: visible as u32,
             fills: 0,
+            erase_ops: 0,
             power_loss_points: Vec::new(),
             journal_pages: 0,
             checkpoint_pages: 0,
@@ -440,6 +446,7 @@ impl EnduranceSim {
             // One P/E cycle per constituent block.
             let mut worn: Vec<usize> = Vec::new();
             for (i, slot) in slots[sb].iter().enumerate() {
+                report.erase_ops += 1;
                 if self.wear.erase(slot.current as usize) == EraseOutcome::WornOut {
                     worn.push(i);
                 }
@@ -558,6 +565,7 @@ impl EnduranceSim {
             remap_events: 0,
             initial_visible: cfg.superblocks as u32,
             fills: 0,
+            erase_ops: 0,
             power_loss_points: Vec::new(),
             journal_pages: 0,
             checkpoint_pages: 0,
@@ -591,6 +599,7 @@ impl EnduranceSim {
                     used.push(id);
                 }
                 for id in used {
+                    report.erase_ops += 1;
                     if self.wear.erase(id as usize) == EraseOutcome::Healthy {
                         let est = estimate(&mut est_rng, self.wear.remaining(id as usize));
                         pool.push((est, Reverse(id)));

@@ -249,6 +249,13 @@ pub struct SsdConfig {
     /// is continuous rather than space-triggered. When false, GC runs
     /// only when the free pool is below the trigger threshold.
     pub gc_continuous: bool,
+    /// Flash-side express path (on by default): provably-identical
+    /// fast-forwarding of the event loop — analytic coalescing of
+    /// uncontended flash leg chains, the NoC event burst loop, and the
+    /// quiet-router sweep skip. Purely an execution strategy: results
+    /// are byte-identical with it off (`--no-flash-express`), only wall
+    /// clock changes.
+    pub flash_express: bool,
     /// Random seed.
     pub seed: u64,
 }
@@ -280,6 +287,7 @@ impl SsdConfig {
             durability: None,
             power_loss: PowerLossConfig::none(),
             gc_continuous: false,
+            flash_express: true,
             seed: 0x5D_D5,
         }
     }

@@ -296,6 +296,22 @@ pub struct SsdSim {
     /// Reused scratch for NoC steps: the event loop handles one NoC event
     /// at a time, so one buffer (with retained capacity) serves them all.
     noc_step: dssd_noc::Step,
+    /// Flash-leg events executed by the chain walk without touching the
+    /// queue; folded into `events_delivered` and the state digest so
+    /// express and event-at-a-time runs report identical totals.
+    lane_events: u64,
+    /// True only while [`SsdSim::chain_walk`] is inside `handle`: lets
+    /// [`SsdSim::push_leg`] hand the handler's final continuation back to
+    /// the walk instead of the queue. Always false on the `--no-flash-express`
+    /// path, where `push_leg` degenerates to `queue.push`.
+    chain_armed: bool,
+    /// The continuation a leg handler deferred, if any. Always `None`
+    /// outside [`SsdSim::chain_walk`]: the walk either executes it or
+    /// demotes it to the queue before returning.
+    chain_next: Option<(SimTime, Ev)>,
+    /// Continuations that lost the race against the queue minimum (a
+    /// competing event was due first) and were demoted to a normal push.
+    chain_demoted: u64,
     blocked_writes: VecDeque<(ReqId, Request)>,
     /// Write groups awaiting re-allocation after a program failure.
     blocked_rewrites: VecDeque<(ReqId, Vec<Lpn>, u32)>,
@@ -599,6 +615,10 @@ impl SsdSim {
             jobs: Slab::new(),
             packet_jobs: Slab::new(),
             noc_step: dssd_noc::Step::default(),
+            lane_events: 0,
+            chain_armed: false,
+            chain_next: None,
+            chain_demoted: 0,
             blocked_writes: VecDeque::new(),
             blocked_rewrites: VecDeque::new(),
             pending_retire: VecDeque::new(),
@@ -816,6 +836,16 @@ impl SsdSim {
         self.noc.as_ref()
     }
 
+    /// Flash-side express diagnostics: `(coalesced, demoted)` — leg
+    /// events the chain walk executed without a queue round-trip, and
+    /// continuations demoted to a normal push because a competing event
+    /// was due first. Strictly observational; both are 0 with
+    /// `--no-flash-express`.
+    #[must_use]
+    pub fn flash_express_diag(&self) -> (u64, u64) {
+        (self.lane_events, self.chain_demoted)
+    }
+
     // ------------------------------------------------------------------
     // Telemetry
     // ------------------------------------------------------------------
@@ -885,8 +915,12 @@ impl SsdSim {
     /// original pop-then-break — the dropped pop is part of the golden
     /// `events_delivered` fingerprints.
     pub fn run_events(&mut self, limit: u64) -> RunState {
+        let express = self.config.flash_express;
         if self.halted {
             return RunState::Halted;
+        }
+        if let Some(n) = self.noc.as_mut() {
+            n.set_quiet_credit_skip(express);
         }
         let mut progress = self.progress.then(ProgressMeter::new);
         let mut handled = 0u64;
@@ -918,15 +952,52 @@ impl SsdSim {
             }
             if let Some(p) = progress.as_mut() {
                 let (queue, noc) = (&self.queue, self.noc.as_ref());
-                p.tick(t, || queue.delivered() + noc.map_or(0, |n| n.express_events()));
+                let lane = self.lane_events;
+                p.tick(t, || queue.delivered() + lane + noc.map_or(0, |n| n.express_events()));
             }
             self.now = t;
-            self.handle(ev);
-            self.events_handled += 1;
-            handled += 1;
-            if self.power_at_event == Some(self.events_handled) {
-                self.power_loss();
-                return RunState::Halted;
+            match ev {
+                // Express burst: drain consecutive NoC events in one
+                // tight loop, skipping the per-event outer-loop checks.
+                // The queue stays the ordering authority (`pop_if`), so
+                // the event sequence is identical to the one-at-a-time
+                // path; disabled whenever the outer loop's per-event
+                // observations (power-loss instants, epoch sampling,
+                // progress ticks) must run.
+                Ev::Noc(nev)
+                    if express
+                        && self.power_at.is_none()
+                        && self.power_at_event.is_none()
+                        && self.epoch.is_none()
+                        && !self.progress =>
+                {
+                    let n = self.noc_burst(nev, limit - handled);
+                    self.events_handled += n;
+                    handled += n;
+                }
+                // Express chain walk: flash leg chains coalesce while
+                // each continuation provably beats the queue minimum.
+                // Same gate as the burst: any per-event outer-loop
+                // observation forces one-at-a-time execution.
+                ev if express
+                    && self.power_at.is_none()
+                    && self.power_at_event.is_none()
+                    && self.epoch.is_none()
+                    && !self.progress =>
+                {
+                    let n = self.chain_walk(ev, limit - handled);
+                    self.events_handled += n;
+                    handled += n;
+                }
+                ev => {
+                    self.handle(ev);
+                    self.events_handled += 1;
+                    handled += 1;
+                    if self.power_at_event == Some(self.events_handled) {
+                        self.power_loss();
+                        return RunState::Halted;
+                    }
+                }
             }
         }
         RunState::Done
@@ -975,10 +1046,12 @@ impl SsdSim {
         if self.epoch.is_some() {
             self.sample_epochs_until(upto);
         }
-        // Queue pops, plus the flit-level events the NoC express path
-        // simulated privately — so "events processed" measures the same
-        // logical work with the express path on or off.
+        // Queue pops, plus burst-lane pops that bypassed the queue, plus
+        // the flit-level events the NoC express path simulated privately —
+        // so "events processed" measures the same logical work with the
+        // fast paths on or off.
         self.report.events_delivered = self.queue.delivered()
+            + self.lane_events
             + self.noc.as_ref().map_or(0, |n| n.express_events());
         self.report.elapsed = upto - SimTime::ZERO;
         &self.report
@@ -1114,7 +1187,7 @@ impl SsdSim {
             self.rng.state_digest(),
             self.now.as_ns(),
             self.events_handled,
-            self.queue.delivered(),
+            self.queue.delivered() + self.lane_events,
             self.outstanding as u64,
             u64::from(self.prefilled),
             self.report.requests_completed,
@@ -1144,7 +1217,7 @@ impl SsdSim {
                     self.flash_bus[leg.channel as usize].enqueue(self.now, bytes, CLASS_IO);
                 let track = Track::ChannelBus(leg.channel as u16);
                 self.req_span(leg.req, StageKind::FlashBus, track, t.done - self.now);
-                self.queue.push(t.done, Ev::WriteAtDie { leg });
+                self.push_leg(t.done, Ev::WriteAtDie { leg });
             }
             Ev::WriteAtDie { leg } => self.write_at_die(*leg),
             Ev::WriteDone { req, pages } | Ev::ReadDone { req, pages } => {
@@ -1156,20 +1229,20 @@ impl SsdSim {
                     self.flash_bus[leg.channel as usize].enqueue(self.now, bytes, CLASS_IO);
                 let track = Track::ChannelBus(leg.channel as u16);
                 self.req_span(leg.req, StageKind::FlashBus, track, t.done - self.now);
-                self.queue.push(t.done, Ev::ReadAtEcc { leg });
+                self.push_leg(t.done, Ev::ReadAtEcc { leg });
             }
             Ev::ReadAtEcc { leg } => self.read_at_ecc(*leg),
             Ev::ReadAtSysbus { req, pages } => {
                 let bytes = self.page_bytes(pages);
                 let t = self.sysbus_xfer(bytes, CLASS_IO);
                 self.req_span(req, StageKind::SystemBus, Track::SysBus, t.1 - self.now);
-                self.queue.push(t.1, Ev::ReadDone { req, pages });
+                self.push_leg(t.1, Ev::ReadDone { req, pages });
             }
             Ev::DramHitAtDram { req, pages } => {
                 let bytes = self.page_bytes(pages);
                 let t = self.dram.enqueue(self.now, bytes, CLASS_IO);
                 self.req_span(req, StageKind::Dram, Track::Dram, t.done - self.now);
-                self.queue.push(t.done, Ev::DramHitDone { req, pages });
+                self.push_leg(t.done, Ev::DramHitDone { req, pages });
             }
             Ev::DramHitDone { req, pages } => self.finish_pages(req, pages),
             Ev::CopyAtSrcBus { job } => {
@@ -1195,14 +1268,14 @@ impl SsdSim {
                 let t = self.flash_bus[ch].enqueue(self.now, bytes, CLASS_GC);
                 let track = Track::ChannelBus(ch as u16);
                 self.job_span(job, StageKind::FlashBus, track, t.done - self.now);
-                self.queue.push(t.done, Ev::CopyAtEcc { job });
+                self.push_leg(t.done, Ev::CopyAtEcc { job });
             }
             Ev::CopyAtEcc { job } => {
                 let (bytes, ch) = self.job_src(job);
                 let t = self.controllers[ch].ecc_mut().decode_as(self.now, bytes, CLASS_GC);
                 let track = Track::ChannelEcc(ch as u16);
                 self.job_span(job, StageKind::Ecc, track, t.done - self.now);
-                self.queue.push(t.done, Ev::CopyTransport { job });
+                self.push_leg(t.done, Ev::CopyTransport { job });
             }
             Ev::CopyTransport { job } => {
                 self.cmd_advance_to(job, dssd_ctrl::CopybackStage::EccDone);
@@ -1212,20 +1285,20 @@ impl SsdSim {
                 let n = self.jobs[job].pages.len() as u32;
                 let t = self.dram_xfer_pages(n, CLASS_GC);
                 self.job_span(job, StageKind::Dram, Track::Dram, t.1 - self.now);
-                self.queue.push(t.1, Ev::CopyFromDram { job });
+                self.push_leg(t.1, Ev::CopyFromDram { job });
             }
             Ev::CopyFromDram { job } => {
                 let n = self.jobs[job].pages.len() as u32;
                 let t = self.sysbus_xfer_pages(n, CLASS_GC);
                 self.job_span(job, StageKind::SystemBus, Track::SysBus, t.1 - self.now);
-                self.queue.push(t.1, Ev::CopyAtDstBus { job });
+                self.push_leg(t.1, Ev::CopyAtDstBus { job });
             }
             Ev::CopyAtDstBus { job } => {
                 let (bytes, ch) = self.job_dst(job);
                 let t = self.flash_bus[ch].enqueue(self.now, bytes, CLASS_GC);
                 let track = Track::ChannelBus(ch as u16);
                 self.job_span(job, StageKind::FlashBus, track, t.done - self.now);
-                self.queue.push(t.done, Ev::CopyAtDstDie { job });
+                self.push_leg(t.done, Ev::CopyAtDstDie { job });
             }
             Ev::CopyAtDstDie { job } => {
                 self.cmd_advance_to(job, dssd_ctrl::CopybackStage::WriteIssued);
@@ -1242,7 +1315,7 @@ impl SsdSim {
                 let (_, done) = self.dies.occupy(die, self.now, lat);
                 let track = Track::Die(die as u32);
                 self.job_span(job, StageKind::FlashChip, track, done - self.now);
-                self.queue.push(done, Ev::CopyDone { job });
+                self.push_leg(done, Ev::CopyDone { job });
             }
             Ev::CopyDone { job } => self.copy_done(job),
             Ev::EraseDone => self.erase_done(),
@@ -1727,23 +1800,23 @@ impl SsdSim {
                 let n = self.jobs[job].pages.len() as u32;
                 let t = self.sysbus_xfer_pages(n, CLASS_GC);
                 self.job_span(job, StageKind::SystemBus, Track::SysBus, t.1 - self.now);
-                self.queue.push(t.1, Ev::CopyAtDram { job });
+                self.push_leg(t.1, Ev::CopyAtDram { job });
             }
             Architecture::Dssd => {
                 if same_channel {
-                    self.queue.push(self.now, Ev::CopyAtDstBus { job });
+                    self.push_leg(self.now, Ev::CopyAtDstBus { job });
                 } else {
                     // Controller-to-controller: the group was gathered in
                     // the source dBUF, so it crosses as one burst.
                     let bytes = self.page_bytes(self.jobs[job].pages.len() as u32);
                     let t = self.sysbus_xfer(bytes, CLASS_GC);
                     self.job_span(job, StageKind::SystemBus, Track::SysBus, t.1 - self.now);
-                    self.queue.push(t.1, Ev::CopyAtDstBus { job });
+                    self.push_leg(t.1, Ev::CopyAtDstBus { job });
                 }
             }
             Architecture::DssdBus => {
                 if same_channel {
-                    self.queue.push(self.now, Ev::CopyAtDstBus { job });
+                    self.push_leg(self.now, Ev::CopyAtDstBus { job });
                 } else {
                     // One burst per gathered group over the dedicated bus.
                     let bytes = self.page_bytes(self.jobs[job].pages.len() as u32);
@@ -1751,14 +1824,14 @@ impl SsdSim {
                     let t = bus.enqueue(self.now, bytes, CLASS_GC);
                     let track = Track::DedicatedBus;
                     self.job_span(job, StageKind::Noc, track, t.done - self.now);
-                    self.queue.push(t.done, Ev::CopyAtDstBus { job });
+                    self.push_leg(t.done, Ev::CopyAtDstBus { job });
                 }
             }
             Architecture::DssdFnoc => {
                 if same_channel {
                     // Stays inside the controller; release the dBUF at
                     // the destination program.
-                    self.queue.push(self.now, Ev::CopyAtDstBus { job });
+                    self.push_leg(self.now, Ev::CopyAtDstBus { job });
                     return;
                 }
                 // Packetize: one packet per page (Fig 4 step 5).
@@ -1844,13 +1917,245 @@ impl SsdSim {
         self.noc_step = step;
     }
 
+    /// Drains a run of consecutive NoC events in one burst.
+    ///
+    /// The execution order is bit-identical to the event-at-a-time loop
+    /// by construction: the calendar queue stays the ordering authority
+    /// (`pop_if` only accepts the true minimum when it is a NoC event
+    /// within the horizon), the burst merely keeps the NoC step buffer
+    /// and the `self.noc` borrow hot across the run instead of paying
+    /// the full outer-loop dispatch per event.
+    ///
+    /// Returns the number of events handled (at least 1, at most `max`).
+    fn noc_burst(&mut self, first: NocEvent, max: u64) -> u64 {
+        let mut step = std::mem::take(&mut self.noc_step);
+        let mut ev = first;
+        let mut n = 0u64;
+        let horizon = self.horizon;
+        loop {
+            self.noc
+                .as_mut()
+                .expect("NoC event without NoC")
+                .handle_into(self.now, ev, &mut step);
+            n += 1;
+            // Inline absorb: hops exist only when tracing, deliveries are
+            // rare.
+            if !step.hops.is_empty() {
+                self.trace_noc_hops(&mut step);
+            }
+            // Direct consume: when the step scheduled successors and
+            // delivered nothing, its earliest successor may be runnable
+            // without a calendar round-trip. Eligibility mirrors the
+            // chain walk: the candidate must *strictly* beat the queue
+            // minimum — a queued event due at the same instant was
+            // pushed first and owns the tie.
+            // A deferred successor whose claim to "next event" is still
+            // unresolved: it is settled against the queue head by the
+            // fused `pop_if` below, and demoted to a normal push if the
+            // queue wins.
+            let mut cand: Option<(SimTime, NocEvent)> = None;
+            // A successor already proven to be the global next event:
+            // consumed without touching the queue at all.
+            let mut direct: Option<(SimTime, NocEvent)> = None;
+            if n < max && step.delivered.is_empty() && !step.schedule.is_empty() {
+                let mut idx = 0;
+                for i in 1..step.schedule.len() {
+                    if step.schedule[i].0 < step.schedule[idx].0 {
+                        idx = i;
+                    }
+                }
+                let t0 = step.schedule[idx].0;
+                let unique =
+                    step.schedule.iter().enumerate().all(|(i, s)| i == idx || s.0 > t0);
+                if t0 <= horizon {
+                    if unique {
+                        // Strictly earliest among its siblings: safe to
+                        // defer — even if demoted, time order (not FIFO)
+                        // separates it from the pushed siblings.
+                        for (i, (t, e)) in step.schedule.drain(..).enumerate() {
+                            if i == idx {
+                                cand = Some((t, e));
+                            } else {
+                                self.queue.push(t, Ev::Noc(e));
+                            }
+                        }
+                    } else if self.queue.peek_time().is_none_or(|q| q > t0) {
+                        // Same-time siblings would lose their FIFO order
+                        // if the first were demoted after the rest, so
+                        // consume it only when the queue is *strictly*
+                        // later — then it is provably next and no
+                        // demotion can occur. The rest are pushed in
+                        // order, exactly as the one-at-a-time path would.
+                        for (i, (t, e)) in step.schedule.drain(..).enumerate() {
+                            if i == idx {
+                                direct = Some((t, e));
+                            } else {
+                                self.queue.push(t, Ev::Noc(e));
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some((t, e)) = direct {
+                self.lane_events += 1;
+                self.now = t;
+                ev = e;
+                continue;
+            }
+            if cand.is_none() {
+                for (t, e) in step.schedule.drain(..) {
+                    self.queue.push(t, Ev::Noc(e));
+                }
+                if !step.delivered.is_empty() {
+                    self.absorb_noc_delivered(&mut step);
+                }
+                if n >= max {
+                    break;
+                }
+            }
+            match cand {
+                Some((t, e)) => {
+                    // Pop the queue head only when it is due at or
+                    // before the candidate (it owns any tie).
+                    let mut blocked = false;
+                    let popped = self.queue.pop_if(|qt, qe| {
+                        if qt > t {
+                            false // candidate wins
+                        } else if matches!(qe, Ev::Noc(_)) {
+                            true
+                        } else {
+                            blocked = true; // non-NoC due first: end burst
+                            false
+                        }
+                    });
+                    match popped {
+                        Some((qt, Ev::Noc(next))) => {
+                            self.queue.push(t, Ev::Noc(e));
+                            self.now = qt;
+                            ev = next;
+                        }
+                        Some(_) => unreachable!("pop_if accepted a non-NoC event"),
+                        None if blocked => {
+                            self.queue.push(t, Ev::Noc(e));
+                            break;
+                        }
+                        None => {
+                            // The candidate is the global minimum:
+                            // consume it in place, bypassing the queue.
+                            self.lane_events += 1;
+                            self.now = t;
+                            ev = e;
+                        }
+                    }
+                }
+                None => match self
+                    .queue
+                    .pop_if(|t, e| t <= horizon && matches!(e, Ev::Noc(_)))
+                {
+                    Some((t, Ev::Noc(next))) => {
+                        self.now = t;
+                        ev = next;
+                    }
+                    Some(_) => unreachable!("pop_if accepted a non-NoC event"),
+                    None => break,
+                },
+            }
+        }
+        self.noc_step = step;
+        n
+    }
+
+    /// Schedules the *final continuation* of a flash-leg handler.
+    ///
+    /// Off the express path this is exactly `queue.push`. On it, when the
+    /// chain walk has armed deferral, the continuation is handed back to
+    /// [`SsdSim::chain_walk`] instead, which executes it immediately iff
+    /// it is provably the next event in the whole simulation — otherwise
+    /// it is demoted to a normal push.
+    ///
+    /// Soundness requires every call site to be the **last** queue
+    /// interaction of its handler: the demoted push then receives exactly
+    /// the sequence number it would have had on the one-event-at-a-time
+    /// path, so same-instant ties keep breaking identically.
+    #[inline]
+    fn push_leg(&mut self, t: SimTime, ev: Ev) {
+        if self.chain_armed && self.chain_next.is_none() {
+            self.chain_next = Some((t, ev));
+        } else {
+            self.queue.push(t, ev);
+        }
+    }
+
+    /// Express chain walk: analytic fast-forward of an uncontended flash
+    /// leg chain (channel bus → ECC → system bus / die, and the GC-copy
+    /// pipeline).
+    ///
+    /// Handles `first`, then — as long as the continuation the handler
+    /// deferred via [`SsdSim::push_leg`] is *strictly earlier* than the
+    /// queue minimum — executes the next leg in place, skipping the
+    /// calendar round-trip and the outer-loop dispatch. Strictness is the
+    /// eligibility predicate: a queued event at the same instant was
+    /// pushed first, so it owns the tie and the continuation is demoted
+    /// to a normal push (rewinding is never needed — the conflict is
+    /// detected *before* the leg runs, and the demoted push restores the
+    /// exact event-at-a-time order). Uncontended resources are precisely
+    /// the case where each leg's completion beats everything queued, so
+    /// a whole read/write/copy chain collapses into one walk.
+    ///
+    /// Legs executed here bypass the queue and are counted in
+    /// `lane_events`, which folds into `events_delivered`, the state
+    /// digest, and progress ticks — express and non-express runs report
+    /// identical totals.
+    ///
+    /// Returns the number of events handled (at least 1, at most `max`).
+    fn chain_walk(&mut self, first: Ev, max: u64) -> u64 {
+        let mut ev = first;
+        let mut n = 0u64;
+        loop {
+            self.chain_armed = true;
+            self.handle(ev);
+            self.chain_armed = false;
+            n += 1;
+            let Some((t, next)) = self.chain_next.take() else { break };
+            let beaten = match self.queue.peek_time() {
+                Some(q) => q <= t,
+                None => false,
+            };
+            if beaten || t > self.horizon || n >= max {
+                if beaten {
+                    self.chain_demoted += 1;
+                }
+                self.queue.push(t, next);
+                break;
+            }
+            self.lane_events += 1;
+            self.now = t;
+            ev = next;
+        }
+        n
+    }
+
     /// Drains a NoC [`Step`](dssd_noc::Step) into the event queue,
     /// leaving its buffers empty (capacity retained) for reuse.
     fn absorb_noc(&mut self, step: &mut dssd_noc::Step) {
         // Per-hop link slices first: `packet_jobs` entries are removed on
         // delivery, and the delivered packet's final hops ride in the same
-        // step. Only recorded when tracing (the network records hops only
-        // after `set_record_hops`).
+        // step.
+        if !step.hops.is_empty() {
+            self.trace_noc_hops(step);
+        }
+        for (t, e) in step.schedule.drain(..) {
+            self.queue.push(t, Ev::Noc(e));
+        }
+        if !step.delivered.is_empty() {
+            self.absorb_noc_delivered(step);
+        }
+    }
+
+    /// Emits span slices for a step's per-hop link records. Only recorded
+    /// when tracing (the network records hops only after
+    /// `set_record_hops`), so this path is cold.
+    fn trace_noc_hops(&mut self, step: &mut dssd_noc::Step) {
         for h in step.hops.drain(..) {
             if let Some(&job) = self.packet_jobs.get(SlabKey::from_bits(h.packet)) {
                 self.tracer.span_named(
@@ -1864,9 +2169,11 @@ impl SsdSim {
                 );
             }
         }
-        for (t, e) in step.schedule.drain(..) {
-            self.queue.push(t, Ev::Noc(e));
-        }
+    }
+
+    /// Books a step's delivered packets against their copy jobs and
+    /// schedules the post-transit leg once a job's last packet lands.
+    fn absorb_noc_delivered(&mut self, step: &mut dssd_noc::Step) {
         for d in step.delivered.drain(..) {
             let job = self
                 .packet_jobs
@@ -2358,7 +2665,7 @@ impl SsdSim {
         // `done`; a crash before then tears these pages.
         self.ftl.meta_mark_programmed(leg.ticket, done);
         self.pump_meta();
-        self.queue.push(done, Ev::WriteDone { req: leg.req, pages: leg.pages });
+        self.push_leg(done, Ev::WriteDone { req: leg.req, pages: leg.pages });
     }
 
     /// A program reported failure: retire the block, then re-allocate and
@@ -2418,7 +2725,7 @@ impl SsdSim {
         let track = Track::ChannelEcc(leg.channel as u16);
         self.req_span(leg.req, StageKind::Ecc, track, t.done - self.now);
         if self.injector.is_none() {
-            self.queue.push(t.done, Ev::ReadAtSysbus { req: leg.req, pages: leg.pages });
+            self.push_leg(t.done, Ev::ReadAtSysbus { req: leg.req, pages: leg.pages });
             return;
         }
         match self.classify_read(&mut leg) {
@@ -2428,8 +2735,7 @@ impl SsdSim {
                     // threshold.
                     self.report.faults.reads_recovered += 1;
                 }
-                self.queue
-                    .push(t.done, Ev::ReadAtSysbus { req: leg.req, pages: leg.pages });
+                self.push_leg(t.done, Ev::ReadAtSysbus { req: leg.req, pages: leg.pages });
             }
             EccVerdict::Uncorrectable => {
                 if leg.attempt < self.config.faults.max_read_retries {
