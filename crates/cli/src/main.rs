@@ -13,9 +13,10 @@
 //!                     [--trace-out FILE] [--trace-window MS] [--trace-summary]
 //!                     [--epoch-out FILE] [--epoch-ms MS]
 //!                     [--progress] [--no-noc-express] [--no-flash-express]
+//!                     [--shards N]
 //! dssd-cli sweep      [--arch all|dssd_f] [--factors 1.0,1.5,2.0] [--jobs N]
 //!                     [--pages 8] [--ms 5] [--seed N] [--gc-continuous]
-//!                     [--json FILE]
+//!                     [--shards N] [--json FILE]
 //! dssd-cli trace      --volume prn_0 --arch baseline [--speedup 10] [--ms 40]
 //!                     [--trace-out FILE] [--trace-window MS] [--trace-summary]
 //!                     [--epoch-out FILE] [--epoch-ms MS]
@@ -79,6 +80,11 @@
 //! for the flash-side express path (analytic leg-chain coalescing, the
 //! NoC event burst loop, and the quiet-router sweep skip — DESIGN.md
 //! §13): byte-identical output, one-event-at-a-time execution.
+//! `--shards N` (default 1) runs the intra-run sharded engine: the
+//! future-event list is split across N per-shard queues by home
+//! resource (channel blocks, fNoC regions) and merged back in exact
+//! global order (DESIGN.md §14) — stdout is byte-identical for every
+//! N, so shard count is a performance knob, never a results knob.
 
 mod args;
 
@@ -167,6 +173,11 @@ fn build_config(flags: &Flags) -> Result<SsdConfig, ArgError> {
         // Same escape hatch for the flash-side express path (DESIGN.md
         // §13): fall back to one-event-at-a-time execution.
         cfg.flash_express = false;
+    }
+    let shards = flags.get_or("shards", 1usize)?;
+    cfg = cfg.with_shards(shards);
+    if let Err(e) = cfg.validate() {
+        return Err(ArgError(e));
     }
     Ok(cfg)
 }
@@ -682,6 +693,7 @@ fn cmd_sweep(rest: &[String]) -> Result<(), ArgError> {
             if factor > 1.0 {
                 cfg = cfg.with_onchip_factor(factor);
             }
+            cfg = cfg.with_shards(flags.get_or("shards", 1usize)?);
             let label = format!("{}/x{factor}", arch.label());
             let mut p = SweepPoint::writes(label, cfg, SimSpan::from_ms(ms));
             p.request_pages = pages;

@@ -1,0 +1,962 @@
+//! Conservative parallel discrete-event execution.
+//!
+//! Two cooperating layers, both deterministic by construction:
+//!
+//! * [`ShardedQueue`] — splits one logical future-event list across
+//!   per-shard [`EventQueue`]s while preserving the *exact* global pop
+//!   order of a single queue. Every push is stamped with an [`EventKey`]
+//!   minted from one shared sequence counter, so merging the shard heads
+//!   by key reproduces the single-queue `(time, rank, seq)` order bit for
+//!   bit. Parallelism comes from *batch extraction*: when the consumer
+//!   drains the queue faster than one core can feed it, worker threads
+//!   pre-pop sorted runs from each shard's calendar concurrently, and the
+//!   consumer merges run heads against live calendar heads. Extraction
+//!   timing, batch sizes and thread scheduling cannot change the pop
+//!   order — only which (pre-sorted) container an event is served from.
+//!   This is how a simulator whose handlers share entangled state (the
+//!   SSD sim) can still move its queue work off the critical path without
+//!   risking a single byte of divergence.
+//!
+//! * [`BarrierEngine`] — a classic conservative (CMB-style) parallel
+//!   executor for models whose state *does* partition cleanly across
+//!   shards. Shards run their handlers concurrently inside lookahead
+//!   barrier epochs; cross-shard pushes travel through per-pair SPSC
+//!   mailboxes drained at each barrier. The lookahead contract — a
+//!   cross-shard message may not be scheduled earlier than `now +
+//!   lookahead` — guarantees no shard ever pops an event earlier than an
+//!   undelivered remote one (see the epoch invariant on
+//!   [`BarrierEngine::run`]). Delivery order at each barrier is fixed
+//!   (destination-major, then source, then send order), so results are
+//!   independent of thread interleaving.
+//!
+//! The lookahead itself is model-specific: for the dSSD fabric it derives
+//! from the minimum cross-shard latency (flit serialization on
+//! inter-region links, channel-bus transfer for ctrl→flash legs); the
+//! `dssd-noc` and `dssd-ssd` crates compute it from their configs.
+
+use std::collections::VecDeque;
+
+use crate::event::EventKey;
+use crate::{EventQueue, SimSpan, SimTime};
+
+/// Default per-shard batch size for one extraction round.
+const RUN_BATCH: usize = 8192;
+/// Default minimum shard backlog before extraction engages. Extraction
+/// only pays when the pre-popped run is large enough to amortize the
+/// worker-thread spawn; below this, pops come straight from the shard
+/// calendars (still exact, no extraction overhead).
+const SPAWN_MIN: usize = 1024;
+
+/// A deterministic event queue split across shards, preserving exact
+/// single-queue order.
+///
+/// Push with an explicit shard id; pop globally. The pop order equals a
+/// single [`EventQueue`] fed by the same pushes in the same call order,
+/// for *any* shard count, shard assignment, or extraction tuning — a
+/// property the randomized differential tests below assert.
+///
+/// # Example
+///
+/// ```
+/// use dssd_kernel::{ShardedQueue, SimTime, DEFAULT_RANK};
+///
+/// let mut q = ShardedQueue::new(2);
+/// q.push(0, SimTime::from_us(2), DEFAULT_RANK, "late");
+/// q.push(1, SimTime::from_us(1), DEFAULT_RANK, "early");
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedQueue<E> {
+    shards: Vec<EventQueue<E>>,
+    /// Pre-extracted sorted runs, one per shard. Extraction pops from a
+    /// shard's calendar, so each run is ascending by key.
+    runs: Vec<VecDeque<(EventKey, E)>>,
+    /// Cached earliest calendar key per shard; `None` = calendar empty.
+    /// Invariant: `heads[i] == shards[i].peek_key()` at all times.
+    heads: Vec<Option<EventKey>>,
+    /// Shared sequence counter: the global FIFO tie-break.
+    next_seq: u64,
+    delivered: u64,
+    len: usize,
+    run_items: usize,
+    batch: usize,
+    spawn_min: usize,
+    /// Spawn extraction workers even on a single-core host (test hook:
+    /// the parallel path must be exercised regardless of the machine).
+    force_parallel: bool,
+}
+
+/// Where the current global minimum lives.
+enum Source {
+    Run(usize),
+    Calendar(usize),
+}
+
+/// One shard's extraction slot — its calendar queue, run buffer, and
+/// cached head key — borrowed together for the scoped workers.
+type ShardSlot<'a, E> = (
+    &'a mut EventQueue<E>,
+    &'a mut VecDeque<(EventKey, E)>,
+    &'a mut Option<EventKey>,
+);
+
+impl<E: Send> ShardedQueue<E> {
+    /// Creates a queue with `shards` partitions (at least 1).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedQueue {
+            shards: (0..shards).map(|_| EventQueue::new()).collect(),
+            runs: (0..shards).map(|_| VecDeque::new()).collect(),
+            heads: vec![None; shards],
+            next_seq: 0,
+            delivered: 0,
+            len: 0,
+            run_items: 0,
+            batch: RUN_BATCH,
+            spawn_min: SPAWN_MIN,
+            force_parallel: false,
+        }
+    }
+
+    /// Overrides the extraction tuning (batch size per round, minimum
+    /// backlog to engage) and forces worker threads even on a single-core
+    /// host. Pop order is invariant under tuning — tests use tiny values
+    /// to force the extraction path on small schedules.
+    #[must_use]
+    pub fn with_tuning(mut self, batch: usize, spawn_min: usize) -> Self {
+        assert!(batch >= 1);
+        self.batch = batch;
+        self.spawn_min = spawn_min.max(1);
+        self.force_parallel = true;
+        self
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Schedules `event` at `time` on `shard` with a same-time rank.
+    /// The shard id affects only *where* the event is stored (and thus
+    /// which extraction worker handles it), never the pop order.
+    pub fn push(&mut self, shard: usize, time: SimTime, rank: u8, event: E) {
+        let key = EventKey { time, rank, seq: self.next_seq };
+        self.next_seq += 1;
+        self.shards[shard].push_keyed(key, event);
+        if self.heads[shard].is_none_or(|h| key < h) {
+            self.heads[shard] = Some(key);
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.run_items == 0 {
+            self.maybe_refill();
+        }
+        let (key, src) = self.best_source()?;
+        Some((key.time, self.take(key, src)))
+    }
+
+    /// Removes and returns the earliest event only if `pred` accepts it;
+    /// otherwise the queue is untouched. Mirrors [`EventQueue::pop_if`].
+    pub fn pop_if(&mut self, pred: impl FnOnce(SimTime, &E) -> bool) -> Option<(SimTime, E)> {
+        if self.run_items == 0 {
+            self.maybe_refill();
+        }
+        let (key, src) = self.best_source()?;
+        let accept = match src {
+            Source::Run(i) => {
+                let (_, ev) = self.runs[i].front().expect("run head vanished");
+                pred(key.time, ev)
+            }
+            Source::Calendar(i) => {
+                let (t, ev) = self.shards[i].pop_if(pred)?;
+                debug_assert_eq!(t, key.time);
+                self.heads[i] = self.shards[i].peek_key();
+                self.len -= 1;
+                self.delivered += 1;
+                return Some((t, ev));
+            }
+        };
+        if !accept {
+            return None;
+        }
+        Some((key.time, self.take(key, src)))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.peek_key().map(|k| k.time)
+    }
+
+    /// The delivery key of the earliest pending event, if any.
+    #[must_use]
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.best_source().map(|(k, _)| k)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Events handed to the consumer so far. Extraction pops are *not*
+    /// counted: `delivered() + len()` equals the number of pushes, same
+    /// as the single-queue accounting.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Finds the shard and container holding the global minimum key.
+    /// A shard's run head and calendar head are both candidates: a push
+    /// made after extraction can be earlier than the run's remaining
+    /// entries (a handler at time `t` scheduling `t + ε` while the run
+    /// already holds `t + 2ε`).
+    fn best_source(&self) -> Option<(EventKey, Source)> {
+        let mut best: Option<(EventKey, Source)> = None;
+        for i in 0..self.shards.len() {
+            if let Some(&(k, _)) = self.runs[i].front() {
+                if best.as_ref().is_none_or(|(b, _)| k < *b) {
+                    best = Some((k, Source::Run(i)));
+                }
+            }
+            if let Some(k) = self.heads[i] {
+                if best.as_ref().is_none_or(|(b, _)| k < *b) {
+                    best = Some((k, Source::Calendar(i)));
+                }
+            }
+        }
+        best
+    }
+
+    fn take(&mut self, key: EventKey, src: Source) -> E {
+        let ev = match src {
+            Source::Run(i) => {
+                self.run_items -= 1;
+                let (k, ev) = self.runs[i].pop_front().expect("run head vanished");
+                debug_assert_eq!(k, key);
+                ev
+            }
+            Source::Calendar(i) => {
+                let (k, ev) = self.shards[i].pop_keyed().expect("calendar head vanished");
+                debug_assert_eq!(k, key);
+                self.heads[i] = self.shards[i].peek_key();
+                ev
+            }
+        };
+        self.len -= 1;
+        self.delivered += 1;
+        ev
+    }
+
+    /// Extracts sorted runs from shard calendars on worker threads when
+    /// enough backlog exists to amortize the spawn. Requires at least two
+    /// qualifying shards — with one there is nothing to overlap, and
+    /// serving straight from the calendar is strictly cheaper. On a
+    /// single-core host extraction is skipped entirely (it could only
+    /// add overhead); pop order is identical either way.
+    fn maybe_refill(&mut self) {
+        if !self.force_parallel && host_cores() < 2 {
+            return;
+        }
+        let qualifying = self.shards.iter().filter(|q| q.len() >= self.spawn_min).count();
+        if qualifying < 2 {
+            return;
+        }
+        let batch = self.batch;
+        let spawn_min = self.spawn_min;
+        let mut extracted = 0;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut inline: Option<ShardSlot<'_, E>> = None;
+            for ((q, run), head) in self
+                .shards
+                .iter_mut()
+                .zip(self.runs.iter_mut())
+                .zip(self.heads.iter_mut())
+            {
+                if q.len() < spawn_min {
+                    continue;
+                }
+                if inline.is_none() {
+                    // The coordinator extracts the first qualifying shard
+                    // itself instead of idling at the join.
+                    inline = Some((q, run, head));
+                } else {
+                    handles.push(scope.spawn(move || extract(q, run, head, batch)));
+                }
+            }
+            if let Some((q, run, head)) = inline {
+                extracted += extract(q, run, head, batch);
+            }
+            for h in handles {
+                extracted += h.join().expect("extraction worker panicked");
+            }
+        });
+        self.run_items += extracted;
+    }
+}
+
+/// Cached host core count; extraction threads only engage on multi-core
+/// machines.
+fn host_cores() -> usize {
+    use std::sync::OnceLock;
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    })
+}
+
+/// Pops up to `batch` events from one shard's calendar into its run and
+/// refreshes the cached head. Runs stay sorted because calendar pops are.
+fn extract<E>(
+    q: &mut EventQueue<E>,
+    run: &mut VecDeque<(EventKey, E)>,
+    head: &mut Option<EventKey>,
+    batch: usize,
+) -> usize {
+    let mut n = 0;
+    while n < batch {
+        match q.pop_keyed() {
+            Some(ke) => {
+                run.push_back(ke);
+                n += 1;
+            }
+            None => break,
+        }
+    }
+    *head = q.peek_key();
+    n
+}
+
+/// One shard of a [`BarrierEngine`] model: owns its slice of state and
+/// handles its events. Implementations must not share mutable state
+/// across shards — all cross-shard interaction goes through
+/// [`Outbox::send`].
+pub trait ShardWorker: Send {
+    /// The event type flowing through this model.
+    type Ev: Send;
+
+    /// Handles one event at simulated time `now`. Follow-ups for this
+    /// shard go through [`Outbox::push_local`]; events for other shards
+    /// through [`Outbox::send`], subject to the lookahead contract.
+    fn handle(&mut self, now: SimTime, ev: Self::Ev, out: &mut Outbox<'_, Self::Ev>);
+}
+
+/// A per-pair mailbox: written only by its source shard's worker during
+/// the parallel phase, drained only by the coordinator at the barrier —
+/// single producer, single consumer by construction.
+type Mailbox<E> = Vec<(SimTime, E)>;
+
+/// The scheduling interface handed to [`ShardWorker::handle`].
+#[derive(Debug)]
+pub struct Outbox<'a, E> {
+    now: SimTime,
+    lookahead: SimSpan,
+    shard: usize,
+    local: &'a mut EventQueue<E>,
+    remote: &'a mut [Mailbox<E>],
+}
+
+impl<E> Outbox<'_, E> {
+    /// The timestamp of the event being handled.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The engine's lookahead: the minimum cross-shard scheduling delay.
+    #[must_use]
+    pub fn lookahead(&self) -> SimSpan {
+        self.lookahead
+    }
+
+    /// Schedules a follow-up on this shard, at any time `t >= now`.
+    pub fn push_local(&mut self, t: SimTime, ev: E) {
+        assert!(t >= self.now, "local event scheduled in the past");
+        self.local.push(t, ev);
+    }
+
+    /// Sends an event to shard `dst`. Cross-shard sends must respect the
+    /// lookahead contract: `t >= now + lookahead`. Sends to the own shard
+    /// degrade to [`Outbox::push_local`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a cross-shard send violates the lookahead — a modeling
+    /// bug that would break the conservative epoch invariant.
+    pub fn send(&mut self, dst: usize, t: SimTime, ev: E) {
+        if dst == self.shard {
+            self.push_local(t, ev);
+            return;
+        }
+        assert!(
+            t >= self.now + self.lookahead,
+            "cross-shard send at {t} violates the lookahead contract (now {} + lookahead {})",
+            self.now,
+            self.lookahead,
+        );
+        self.remote[dst].push((t, ev));
+    }
+}
+
+/// Counters from a [`BarrierEngine`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BarrierStats {
+    /// Barrier epochs executed.
+    pub epochs: u64,
+    /// Events handled across all shards.
+    pub events: u64,
+    /// Cross-shard messages delivered at barriers.
+    pub messages: u64,
+}
+
+/// A conservative parallel discrete-event executor over partitioned
+/// state.
+///
+/// Each epoch: compute the global minimum pending time `T`, set the
+/// barrier `B = min(T + lookahead, horizon)`, let every shard process its
+/// events with `t < B` concurrently, then deliver the mailboxes in fixed
+/// (destination, source, send) order and repeat.
+///
+/// **Epoch invariant:** every event processed in an epoch has `t >= T`,
+/// so every cross-shard message it sends has timestamp
+/// `>= t + lookahead >= T + lookahead >= B` — no message can land inside
+/// the window a peer shard is currently executing, which is exactly why
+/// no shard ever pops an event earlier than an undelivered remote one.
+/// Delivery order is deterministic, so the run's result is independent of
+/// thread scheduling; [`BarrierEngine::run_reference`] executes the same
+/// epochs without threads and must produce bit-identical state.
+pub struct BarrierEngine<W: ShardWorker> {
+    workers: Vec<W>,
+    queues: Vec<EventQueue<W::Ev>>,
+    /// `mailboxes[src][dst]`; see [`Mailbox`] for the SPSC discipline.
+    mailboxes: Vec<Vec<Mailbox<W::Ev>>>,
+    lookahead: SimSpan,
+    stats: BarrierStats,
+}
+
+impl<W: ShardWorker> std::fmt::Debug for BarrierEngine<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BarrierEngine")
+            .field("shards", &self.workers.len())
+            .field("lookahead", &self.lookahead)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: ShardWorker> BarrierEngine<W> {
+    /// Creates an engine over `workers` shards with the given lookahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty worker set or a zero lookahead (a zero
+    /// lookahead admits no parallel window: the barrier would equal the
+    /// minimum pending time and every epoch would be empty).
+    #[must_use]
+    pub fn new(workers: Vec<W>, lookahead: SimSpan) -> Self {
+        assert!(!workers.is_empty(), "need at least one shard");
+        assert!(!lookahead.is_zero(), "lookahead must be positive");
+        let n = workers.len();
+        BarrierEngine {
+            workers,
+            queues: (0..n).map(|_| EventQueue::new()).collect(),
+            mailboxes: (0..n).map(|_| (0..n).map(|_| Vec::new()).collect()).collect(),
+            lookahead,
+            stats: BarrierStats::default(),
+        }
+    }
+
+    /// Schedules an initial event on `shard`.
+    pub fn seed(&mut self, shard: usize, t: SimTime, ev: W::Ev) {
+        self.queues[shard].push(t, ev);
+    }
+
+    /// Run counters so far.
+    #[must_use]
+    pub fn stats(&self) -> BarrierStats {
+        self.stats
+    }
+
+    /// The shard workers, for result extraction.
+    #[must_use]
+    pub fn workers(&self) -> &[W] {
+        &self.workers
+    }
+
+    /// Consumes the engine, returning the shard workers.
+    #[must_use]
+    pub fn into_workers(self) -> Vec<W> {
+        self.workers
+    }
+
+    /// Executes barrier epochs on worker threads until every event before
+    /// `horizon` (exclusive) is handled.
+    pub fn run(&mut self, horizon: SimTime) {
+        self.run_epochs(horizon, true);
+    }
+
+    /// Identical schedule to [`BarrierEngine::run`], executed without
+    /// threads. Exists so tests can assert the threaded run is
+    /// bit-identical to a serial one.
+    pub fn run_reference(&mut self, horizon: SimTime) {
+        self.run_epochs(horizon, false);
+    }
+
+    fn run_epochs(&mut self, horizon: SimTime, threaded: bool) {
+        while let Some(t_min) = self.queues.iter().filter_map(EventQueue::peek_time).min() {
+            if t_min >= horizon {
+                break;
+            }
+            let barrier = (t_min + self.lookahead).min(horizon);
+            let lookahead = self.lookahead;
+            let mut events = 0u64;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                let mut own = None;
+                for (shard, ((w, q), row)) in self
+                    .workers
+                    .iter_mut()
+                    .zip(self.queues.iter_mut())
+                    .zip(self.mailboxes.iter_mut())
+                    .enumerate()
+                {
+                    if !threaded {
+                        // Serial reference: same epochs, shard order.
+                        events += run_shard(shard, w, q, row, barrier, lookahead);
+                    } else if shard == 0 {
+                        // The coordinator works shard 0 itself instead of
+                        // idling at the join; spawn the rest first.
+                        own = Some((shard, w, q, row));
+                    } else {
+                        handles.push(
+                            scope.spawn(move || run_shard(shard, w, q, row, barrier, lookahead)),
+                        );
+                    }
+                }
+                if let Some((shard, w, q, row)) = own {
+                    events += run_shard(shard, w, q, row, barrier, lookahead);
+                }
+                for h in handles {
+                    events += h.join().expect("shard worker panicked");
+                }
+            });
+            // Barrier: deliver mailboxes in fixed (dst, src, send) order.
+            let n = self.workers.len();
+            for dst in 0..n {
+                for src in 0..n {
+                    for (t, ev) in self.mailboxes[src][dst].drain(..) {
+                        debug_assert!(t >= barrier, "conservative epoch invariant violated");
+                        self.queues[dst].push(t, ev);
+                        self.stats.messages += 1;
+                    }
+                }
+            }
+            self.stats.epochs += 1;
+            self.stats.events += events;
+        }
+    }
+}
+
+/// One shard's slice of an epoch: drain events strictly before `barrier`.
+fn run_shard<W: ShardWorker>(
+    shard: usize,
+    w: &mut W,
+    q: &mut EventQueue<W::Ev>,
+    row: &mut [Mailbox<W::Ev>],
+    barrier: SimTime,
+    lookahead: SimSpan,
+) -> u64 {
+    let mut n = 0;
+    while let Some((t, ev)) = q.pop_if(|t, _| t < barrier) {
+        let mut out = Outbox { now: t, lookahead, shard, local: q, remote: row };
+        w.handle(t, ev, &mut out);
+        n += 1;
+    }
+    n
+}
+
+pub mod demo {
+    //! A synthetic partitioned model exercising the [`BarrierEngine`]:
+    //! per-shard "channel farms" whose stations complete jobs, burn a
+    //! deterministic amount of handler CPU, and occasionally forward a
+    //! job to another shard with at least the lookahead of delay.
+    //!
+    //! Timestamps are laid out on a 256 ns residue grid encoding
+    //! `(destination, source)` so that no two events from different
+    //! sources ever tie — the one schedule class where barrier delivery
+    //! order and single-queue push order could differ. Under that
+    //! restriction the engine must match a plain single-queue execution
+    //! of the same model bit for bit, which the kernel tests assert and
+    //! the `shard_engine` bench rows exploit for honest scaling numbers.
+
+    use super::{BarrierEngine, BarrierStats, Outbox, ShardWorker};
+    use crate::{EventQueue, Rng, SimSpan, SimTime};
+
+    /// Residue grid: times are congruent to `dst * GRID_SRC + src`
+    /// modulo `GRID`, which makes cross-source same-time ties impossible.
+    const GRID: u64 = 256;
+    const GRID_SRC: u64 = 16;
+    /// Lookahead of the demo fabric, a multiple of the grid.
+    pub const LOOKAHEAD_NS: u64 = 4096;
+
+    /// Tuning for the demo model.
+    #[derive(Debug, Clone, Copy)]
+    pub struct DemoConfig {
+        /// Shards (parallel workers).
+        pub shards: usize,
+        /// Stations per shard, each cycling one job.
+        pub stations: usize,
+        /// Handler CPU burn: xoshiro draws folded per event.
+        pub work: u32,
+        /// Forward a finished job cross-shard once every `cross_every`
+        /// completions (0 = never).
+        pub cross_every: u32,
+    }
+
+    impl Default for DemoConfig {
+        fn default() -> Self {
+            DemoConfig { shards: 4, stations: 1024, work: 64, cross_every: 8 }
+        }
+    }
+
+    /// A completed job at one station.
+    #[derive(Debug, Clone, Copy)]
+    pub struct JobDone {
+        /// Station index within the owning shard.
+        pub station: u32,
+    }
+
+    /// One shard's state: a bank of stations plus measurement folds.
+    #[derive(Debug, Clone)]
+    pub struct Farm {
+        shard: usize,
+        shards: usize,
+        work: u32,
+        cross_every: u32,
+        rng: Rng,
+        handled: u64,
+        forwarded: u64,
+        digest: u64,
+    }
+
+    impl Farm {
+        fn new(shard: usize, cfg: &DemoConfig) -> Farm {
+            Farm {
+                shard,
+                shards: cfg.shards,
+                work: cfg.work,
+                cross_every: cfg.cross_every,
+                rng: Rng::new(0xFA43 ^ ((shard as u64) << 8)),
+                handled: 0,
+                forwarded: 0,
+                digest: 0xcbf29ce484222325,
+            }
+        }
+
+        /// A state fingerprint: equal digests mean equal executions.
+        #[must_use]
+        pub fn digest(&self) -> u64 {
+            self.digest
+                ^ self.rng.state_digest()
+                ^ self.handled.wrapping_mul(0x9E3779B97F4A7C15)
+                ^ self.forwarded.rotate_left(17)
+        }
+
+        /// Events handled by this shard.
+        #[must_use]
+        pub fn handled(&self) -> u64 {
+            self.handled
+        }
+
+        /// Next service completion, kept on this shard's residue class.
+        fn service(&mut self, now: SimTime) -> SimTime {
+            let spans = 8 + self.rng.range_u64(0..24); // 2–8 µs, grid units
+            align(now + SimSpan::from_ns(spans * GRID), self.shard, self.shard)
+        }
+
+        fn burn(&mut self, station: u32) {
+            let mut acc = self.digest ^ u64::from(station);
+            for _ in 0..self.work {
+                acc = acc.rotate_left(7) ^ self.rng.next_u64();
+            }
+            self.digest = acc;
+        }
+    }
+
+    /// Rounds `t` up onto the residue class of (src → dst).
+    fn align(t: SimTime, dst: usize, src: usize) -> SimTime {
+        let want = (dst as u64 % GRID_SRC) * GRID_SRC + (src as u64 % GRID_SRC);
+        let rem = t.as_ns() % GRID;
+        let add = (want + GRID - rem) % GRID;
+        t + SimSpan::from_ns(add)
+    }
+
+    impl ShardWorker for Farm {
+        type Ev = JobDone;
+
+        fn handle(&mut self, now: SimTime, ev: JobDone, out: &mut Outbox<'_, JobDone>) {
+            self.handled += 1;
+            self.burn(ev.station);
+            let next = self.service(now);
+            if self.cross_every != 0 && self.handled.is_multiple_of(u64::from(self.cross_every)) {
+                let dst = self.rng.index(self.shards);
+                if dst != self.shard {
+                    self.forwarded += 1;
+                    let t = align(now + SimSpan::from_ns(LOOKAHEAD_NS + GRID), dst, self.shard);
+                    out.send(dst, t, ev);
+                    return;
+                }
+            }
+            out.push_local(next, ev);
+        }
+    }
+
+    /// Builds a seeded engine for `cfg`.
+    #[must_use]
+    pub fn build(cfg: &DemoConfig) -> BarrierEngine<Farm> {
+        let workers = (0..cfg.shards).map(|s| Farm::new(s, cfg)).collect();
+        let mut eng = BarrierEngine::new(workers, SimSpan::from_ns(LOOKAHEAD_NS));
+        seed(cfg, |shard, t, ev| eng.seed(shard, t, ev));
+        eng
+    }
+
+    fn seed(cfg: &DemoConfig, mut push: impl FnMut(usize, SimTime, JobDone)) {
+        for shard in 0..cfg.shards {
+            for station in 0..cfg.stations {
+                // Stagger starts across the grid, on-residue per shard.
+                let t0 = align(
+                    SimTime::from_ns((station as u64 % 64) * GRID),
+                    shard,
+                    shard,
+                );
+                push(shard, t0, JobDone { station: station as u32 });
+            }
+        }
+    }
+
+    /// Runs the engine (threaded) and returns per-shard digests plus
+    /// stats.
+    #[must_use]
+    pub fn run_engine(cfg: &DemoConfig, horizon: SimTime) -> (Vec<u64>, BarrierStats) {
+        let mut eng = build(cfg);
+        eng.run(horizon);
+        let stats = eng.stats();
+        (eng.workers().iter().map(Farm::digest).collect(), stats)
+    }
+
+    /// Reference execution of the same model on one plain [`EventQueue`],
+    /// no shards, no barriers, no threads. Under the residue-grid tie
+    /// freedom this must match [`run_engine`] bit for bit.
+    #[must_use]
+    pub fn run_single(cfg: &DemoConfig, horizon: SimTime) -> Vec<u64> {
+        let mut farms: Vec<Farm> = (0..cfg.shards).map(|s| Farm::new(s, cfg)).collect();
+        let mut q: EventQueue<(usize, JobDone)> = EventQueue::new();
+        seed(cfg, |shard, t, ev| q.push(t, (shard, ev)));
+        let lookahead = SimSpan::from_ns(LOOKAHEAD_NS);
+        while let Some((t, (shard, ev))) = q.pop_if(|t, _| t < horizon) {
+            // Inline single-queue analogue of the Outbox: locals and
+            // remotes all land in the one queue, tagged by shard.
+            let farm = &mut farms[shard];
+            farm.handled += 1;
+            farm.burn(ev.station);
+            let next = farm.service(t);
+            if farm.cross_every != 0 && farm.handled.is_multiple_of(u64::from(farm.cross_every)) {
+                let dst = farm.rng.index(farm.shards);
+                if dst != shard {
+                    farm.forwarded += 1;
+                    let at = align(t + SimSpan::from_ns(LOOKAHEAD_NS + GRID), dst, shard);
+                    assert!(at >= t + lookahead);
+                    q.push(at, (dst, ev));
+                    continue;
+                }
+            }
+            q.push(next, (shard, ev));
+        }
+        farms.iter().map(Farm::digest).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::demo::{run_engine, run_single, DemoConfig};
+    use super::*;
+    use crate::{Rng, ARRIVAL_RANK, DEFAULT_RANK};
+
+    /// Reference for the sharded queue: one plain EventQueue fed by the
+    /// same push sequence.
+    fn differential_schedule(shards: usize, seed: u64, tuning: Option<(usize, usize)>) {
+        let mut sharded = ShardedQueue::new(shards);
+        if let Some((batch, spawn_min)) = tuning {
+            sharded = sharded.with_tuning(batch, spawn_min);
+        }
+        let mut reference: EventQueue<u64> = EventQueue::new();
+        let mut rng = Rng::new(0x54A4D ^ seed);
+        let mut now = 0u64;
+        let mut id = 0u64;
+        for _ in 0..4000 {
+            match rng.range_u64(0..5) {
+                0 | 1 => {
+                    let a = sharded.pop();
+                    let b = reference.pop();
+                    assert_eq!(a, b, "pop divergence at seed {seed}");
+                    if let Some((t, _)) = a {
+                        now = now.max(t.as_ns());
+                    }
+                }
+                2 => {
+                    let bound = now + rng.range_u64(0..512);
+                    let a = sharded.pop_if(|t, e| t.as_ns() <= bound && e % 3 != 0);
+                    let b = reference.pop_if(|t, e| t.as_ns() <= bound && e % 3 != 0);
+                    assert_eq!(a, b, "pop_if divergence at seed {seed}");
+                    if let Some((t, _)) = a {
+                        now = now.max(t.as_ns());
+                    }
+                }
+                _ => {
+                    let t = SimTime::from_ns(now + rng.range_u64(0..200_000));
+                    let rank = if rng.range_u64(0..5) == 0 { ARRIVAL_RANK } else { DEFAULT_RANK };
+                    let shard = rng.index(shards);
+                    sharded.push(shard, t, rank, id);
+                    reference.push_ranked(t, rank, id);
+                    id += 1;
+                }
+            }
+            assert_eq!(sharded.len(), reference.len());
+        }
+        loop {
+            assert_eq!(sharded.peek_key().map(|k| k.time), sharded.peek_time());
+            let a = sharded.pop();
+            let b = reference.pop();
+            assert_eq!(a, b, "drain divergence at seed {seed}");
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(sharded.delivered(), reference.delivered());
+    }
+
+    /// The sharded queue must reproduce single-queue order exactly, for
+    /// any shard count and shard assignment.
+    #[test]
+    fn sharded_matches_single_queue() {
+        for shards in [1, 2, 3, 8] {
+            for seed in 0..6 {
+                differential_schedule(shards, seed, None);
+            }
+        }
+    }
+
+    /// Tiny tuning forces the parallel extraction path on small
+    /// schedules; pop order must be invariant under tuning.
+    #[test]
+    fn extraction_does_not_change_order() {
+        for shards in [2, 3, 8] {
+            for seed in 0..6 {
+                differential_schedule(shards, seed, Some((16, 4)));
+                differential_schedule(shards, seed, Some((3, 1)));
+            }
+        }
+    }
+
+    /// Same-instant ties across shards must break by global push order
+    /// (the shared sequence counter), exactly like one queue — including
+    /// when some ties sit in pre-extracted runs and others arrive in
+    /// calendars afterwards.
+    #[test]
+    fn cross_shard_ties_break_by_global_fifo() {
+        let t = SimTime::from_us(5);
+        let mut q = ShardedQueue::new(3).with_tuning(2, 1);
+        q.push(2, t, DEFAULT_RANK, "a");
+        q.push(0, t, DEFAULT_RANK, "b");
+        q.push(1, t, ARRIVAL_RANK, "c"); // lower rank: pops first
+        q.push(0, t, DEFAULT_RANK, "d");
+        // Force extraction of what exists so far, then add more ties.
+        assert_eq!(q.pop().unwrap().1, "c");
+        q.push(1, t, DEFAULT_RANK, "e");
+        q.push(2, t, ARRIVAL_RANK, "f");
+        let rest: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(rest, vec!["f", "a", "b", "d", "e"]);
+    }
+
+    /// A push earlier than a shard's already-extracted run must still pop
+    /// first: the calendar head outranks the run head.
+    #[test]
+    fn late_push_beats_extracted_run() {
+        let mut q = ShardedQueue::new(2).with_tuning(8, 1);
+        for i in 0..8u64 {
+            q.push((i % 2) as usize, SimTime::from_us(10 + i), DEFAULT_RANK, i);
+        }
+        // First pop triggers extraction of everything into runs.
+        assert_eq!(q.pop().unwrap().1, 0);
+        // Now push an event earlier than the remaining run entries.
+        q.push(0, SimTime::from_us(1), DEFAULT_RANK, 99);
+        assert_eq!(q.pop().unwrap().1, 99);
+        assert_eq!(q.pop().unwrap().1, 1);
+    }
+
+    /// The barrier engine's threaded run must be bit-identical to its
+    /// serial reference execution of the same epochs.
+    #[test]
+    fn engine_threaded_matches_serial_epochs() {
+        let cfg = DemoConfig { shards: 4, stations: 32, work: 8, cross_every: 4 };
+        let horizon = SimTime::from_us(400);
+        let mut threaded = demo::build(&cfg);
+        threaded.run(horizon);
+        let mut serial = demo::build(&cfg);
+        serial.run_reference(horizon);
+        assert_eq!(threaded.stats(), serial.stats());
+        let a: Vec<u64> = threaded.workers().iter().map(demo::Farm::digest).collect();
+        let b: Vec<u64> = serial.workers().iter().map(demo::Farm::digest).collect();
+        assert_eq!(a, b);
+    }
+
+    /// Under the demo model's tie-free residue grid, the engine must also
+    /// match a plain single-queue execution of the same model.
+    #[test]
+    fn engine_matches_single_queue_execution() {
+        for shards in [1, 2, 3, 8] {
+            let cfg = DemoConfig { shards, stations: 24, work: 4, cross_every: 3 };
+            let horizon = SimTime::from_us(300);
+            let (engine_digests, stats) = run_engine(&cfg, horizon);
+            let single_digests = run_single(&cfg, horizon);
+            assert_eq!(engine_digests, single_digests, "{shards} shards diverged");
+            assert!(stats.events > 0);
+            if shards > 1 {
+                assert!(stats.messages > 0, "no cross-shard traffic exercised");
+            }
+        }
+    }
+
+    /// Events exactly at the barrier instant belong to the next epoch;
+    /// cross-shard messages land at or after the barrier. Violating the
+    /// lookahead contract must panic.
+    #[test]
+    #[should_panic(expected = "lookahead contract")]
+    fn lookahead_violation_panics() {
+        struct Bad;
+        impl ShardWorker for Bad {
+            type Ev = ();
+            fn handle(&mut self, now: SimTime, (): (), out: &mut Outbox<'_, ()>) {
+                out.send(1, now + SimSpan::from_ns(1), ());
+            }
+        }
+        let mut eng = BarrierEngine::new(vec![Bad, Bad], SimSpan::from_ns(1000));
+        eng.seed(0, SimTime::ZERO, ());
+        eng.run(SimTime::from_us(1));
+    }
+}

@@ -1,0 +1,141 @@
+//! Region partitioning of the fNoC for sharded execution.
+//!
+//! A sharded simulator runs each fNoC *region* — a contiguous block of
+//! routers — on its own event-queue shard. Two quantities matter:
+//!
+//! * the **region map**: which shard owns a router's events, and
+//! * the **minimum cross-region latency**: the earliest a flit processed
+//!   at one region's router can influence a neighbouring region. A flit
+//!   must serialize onto the inter-region link (`flit_bytes` at the link
+//!   bandwidth) and traverse the downstream router pipeline before its
+//!   effect is visible, so that sum lower-bounds every cross-region
+//!   event dependency — the *lookahead* of a conservative parallel
+//!   schedule (see `dssd_kernel::shard`).
+
+use dssd_kernel::SimSpan;
+
+use crate::topology::{NocConfig, TopologyKind};
+
+/// A contiguous partition of fNoC routers into shard regions.
+///
+/// # Example
+///
+/// ```
+/// use dssd_noc::{NocConfig, RegionMap, TopologyKind};
+///
+/// let cfg = NocConfig::new(TopologyKind::Mesh1D, 8);
+/// let map = RegionMap::new(&cfg, 2);
+/// assert_eq!(map.regions(), 2);
+/// assert_eq!(map.region_of(0), 0);
+/// assert_eq!(map.region_of(7), 1);
+/// assert!(!map.min_cross_latency(&cfg).is_zero());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionMap {
+    regions: usize,
+    node_region: Vec<usize>,
+}
+
+impl RegionMap {
+    /// Partitions `config`'s routers into at most `regions` contiguous
+    /// blocks (clamped to the terminal count, floor 1). Contiguity
+    /// matters for the 1-D mesh — the paper's floorplan — because only
+    /// block boundaries carry cross-region links, keeping cross-shard
+    /// traffic at `regions - 1` cut points. The crossbar's hub switch is
+    /// shared by construction; it joins region 0.
+    #[must_use]
+    pub fn new(config: &NocConfig, regions: usize) -> Self {
+        let regions = regions.clamp(1, config.terminals.max(1));
+        let chunk = config.terminals.div_ceil(regions).max(1);
+        let mut node_region: Vec<usize> = (0..config.terminals)
+            .map(|n| (n / chunk).min(regions - 1))
+            .collect();
+        if matches!(config.topology, TopologyKind::Crossbar) {
+            node_region.push(0); // the hub node, appended after terminals
+        }
+        RegionMap { regions, node_region }
+    }
+
+    /// Number of regions actually formed.
+    #[must_use]
+    pub fn regions(&self) -> usize {
+        self.regions
+    }
+
+    /// The region owning `node` (terminals and any internal switch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the mapped topology.
+    #[must_use]
+    pub fn region_of(&self, node: usize) -> usize {
+        self.node_region[node]
+    }
+
+    /// The time a single flit needs to serialize onto one link.
+    #[must_use]
+    pub fn flit_serialization(config: &NocConfig) -> SimSpan {
+        SimSpan::for_transfer(u64::from(config.flit_bytes), config.link_bytes_per_sec)
+    }
+
+    /// The minimum latency for any event at one region to affect another:
+    /// one flit serialization on the boundary link plus the downstream
+    /// router pipeline. Always positive (serialization rounds up to a
+    /// whole nanosecond), so it is a valid conservative lookahead.
+    #[must_use]
+    pub fn min_cross_latency(&self, config: &NocConfig) -> SimSpan {
+        Self::flit_serialization(config) + config.router_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dssd_kernel::SimSpan;
+
+    #[test]
+    fn partitions_are_contiguous_and_cover_all_nodes() {
+        for terminals in [2, 7, 8, 16, 64] {
+            for regions in [1, 2, 3, 8, 100] {
+                let cfg = NocConfig::new(TopologyKind::Mesh1D, terminals);
+                let map = RegionMap::new(&cfg, regions);
+                assert!(map.regions() >= 1 && map.regions() <= terminals.max(1));
+                let mut last = 0;
+                for n in 0..terminals {
+                    let r = map.region_of(n);
+                    assert!(r < map.regions());
+                    assert!(r >= last, "regions must be contiguous");
+                    assert!(r <= last + 1, "regions must not skip");
+                    last = r;
+                }
+                assert_eq!(last, map.regions() - 1, "every region is used");
+            }
+        }
+    }
+
+    #[test]
+    fn crossbar_hub_belongs_to_region_zero() {
+        let cfg = NocConfig::new(TopologyKind::Crossbar, 8);
+        let map = RegionMap::new(&cfg, 4);
+        // Node index `terminals` is the hub.
+        assert_eq!(map.region_of(8), 0);
+    }
+
+    #[test]
+    fn lookahead_matches_hand_computation() {
+        // 32 B flit at 1 GB/s = 32 ns, plus the 2 ns router pipeline.
+        let cfg = NocConfig::new(TopologyKind::Mesh1D, 8);
+        let map = RegionMap::new(&cfg, 2);
+        assert_eq!(RegionMap::flit_serialization(&cfg), SimSpan::from_ns(32));
+        assert_eq!(map.min_cross_latency(&cfg), SimSpan::from_ns(34));
+    }
+
+    #[test]
+    fn lookahead_is_positive_even_at_extreme_bandwidth() {
+        let cfg = NocConfig::new(TopologyKind::Mesh1D, 8)
+            .with_link_bandwidth(u64::MAX)
+            .with_router_latency(SimSpan::ZERO);
+        let map = RegionMap::new(&cfg, 2);
+        assert!(!map.min_cross_latency(&cfg).is_zero());
+    }
+}

@@ -1,0 +1,202 @@
+//! Shard planning for intra-run parallel execution of the SSD simulator.
+//!
+//! The sharded engine (`--shards N`) splits the simulator's future-event
+//! list into per-shard calendar queues (`dssd_kernel::ShardedQueue`) that
+//! are merged back in exact global `(time, rank, seq)` order, so results
+//! are byte-identical to the single-queue engine for every shard count.
+//! This module owns the *placement policy*: which shard an event's home
+//! resource belongs to, and the conservative lookahead that bounds how
+//! soon work at one shard can affect another.
+//!
+//! Placement follows the hardware partition the paper's floorplan
+//! suggests:
+//!
+//! * **Channels** (and the dies, buses and decoupled controllers behind
+//!   them) are split into contiguous blocks, one block per shard.
+//! * **fNoC routers** reuse [`dssd_noc::RegionMap`], aligned with the
+//!   channel blocks because terminal *i* of the fNoC is channel *i*'s
+//!   controller.
+//! * **Central resources** (host interface, system bus, DRAM, FTL) have
+//!   no spatial home; their events round-robin across shards, which
+//!   affects load balance only — never ordering, because the merge is a
+//!   total order over global keys.
+//!
+//! The lookahead is the minimum latency through either cross-shard
+//! coupling surface: one flit serialization plus the router pipeline on
+//! an fNoC boundary link, or one page transfer on a channel bus. It is
+//! advisory for the queue-sharded engine (which orders exactly and needs
+//! no barrier), but documents the window a barrier-synchronized execution
+//! of the same partition would use (see `dssd_kernel::shard`).
+
+use dssd_kernel::SimSpan;
+use dssd_noc::RegionMap;
+
+use crate::config::SsdConfig;
+
+/// Placement policy mapping simulator events onto event-queue shards.
+///
+/// # Example
+///
+/// ```
+/// use dssd_ssd::{Architecture, ShardPlan, SsdConfig};
+///
+/// let cfg = SsdConfig::test_tiny(Architecture::DssdFnoc).with_shards(2);
+/// let mut plan = ShardPlan::new(&cfg);
+/// assert_eq!(plan.shards(), 2);
+/// assert_eq!(plan.shard_of_channel(0), 0);
+/// assert!(!plan.lookahead().is_zero());
+/// // Central events spread deterministically across all shards.
+/// let first = plan.next_central();
+/// assert!(first < 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shards: usize,
+    channel_shard: Vec<usize>,
+    regions: RegionMap,
+    lookahead: SimSpan,
+    central_rr: usize,
+}
+
+impl ShardPlan {
+    /// Builds the plan for `config` (using `config.shards`, floor 1).
+    #[must_use]
+    pub fn new(config: &SsdConfig) -> Self {
+        let shards = config.shards.max(1);
+        let channels = config.geometry.channels as usize;
+        let chunk = channels.div_ceil(shards).max(1);
+        let channel_shard = (0..channels)
+            .map(|c| (c / chunk).min(shards - 1))
+            .collect();
+        // Resolve the fNoC link bandwidth the way the simulator does
+        // (bisection normalization of the dedicated on-chip budget) so
+        // the derived lookahead reflects the links actually simulated.
+        let mut nc = config.noc;
+        if nc.link_bytes_per_sec == 0 {
+            nc = nc.with_bisection_bandwidth(config.dedicated_budget_bytes_per_sec().max(1));
+        }
+        let regions = RegionMap::new(&nc, shards);
+        let noc_cross = regions.min_cross_latency(&nc);
+        let bus_page = SimSpan::for_transfer(
+            u64::from(config.geometry.page_bytes),
+            config.flash_bus_bytes_per_sec.max(1),
+        ) + config.bus_overhead;
+        ShardPlan {
+            shards,
+            channel_shard,
+            regions,
+            lookahead: noc_cross.min(bus_page),
+            central_rr: 0,
+        }
+    }
+
+    /// Number of event-queue shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning flash channel `channel` and everything behind it
+    /// (dies, channel bus, decoupled controller).
+    #[must_use]
+    pub fn shard_of_channel(&self, channel: u32) -> usize {
+        let c = channel as usize;
+        if c < self.channel_shard.len() {
+            self.channel_shard[c]
+        } else {
+            c % self.shards
+        }
+    }
+
+    /// The shard owning fNoC node `node` (terminal routers and the
+    /// crossbar hub), via the contiguous region map.
+    #[must_use]
+    pub fn shard_of_node(&self, node: usize) -> usize {
+        self.regions.region_of(node).min(self.shards - 1)
+    }
+
+    /// The shard for the next centrally-homed event (host interface,
+    /// system bus, DRAM, FTL bookkeeping). Deterministic round-robin:
+    /// the choice balances load but cannot change results, because the
+    /// sharded queue merges on total global order.
+    pub fn next_central(&mut self) -> usize {
+        let s = self.central_rr;
+        self.central_rr = (self.central_rr + 1) % self.shards;
+        s
+    }
+
+    /// The conservative cross-shard lookahead: the minimum of one flit
+    /// serialization plus the router pipeline (fNoC boundary link) and
+    /// one page transfer on a channel bus (plus per-transfer overhead).
+    /// Always positive.
+    #[must_use]
+    pub fn lookahead(&self) -> SimSpan {
+        self.lookahead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::config::Architecture;
+
+    #[test]
+    fn channels_partition_into_contiguous_blocks() {
+        let cfg = SsdConfig::test_tiny(Architecture::DssdFnoc).with_shards(2);
+        let plan = ShardPlan::new(&cfg);
+        let channels = cfg.geometry.channels;
+        let mut last = 0;
+        for c in 0..channels {
+            let s = plan.shard_of_channel(c);
+            assert!(s < plan.shards());
+            assert!(s >= last && s <= last + 1, "blocks must be contiguous");
+            last = s;
+        }
+        assert_eq!(last, plan.shards() - 1, "every shard owns channels");
+    }
+
+    #[test]
+    fn more_shards_than_channels_still_maps_all_channels() {
+        let cfg = SsdConfig::test_tiny(Architecture::Dssd).with_shards(64);
+        let plan = ShardPlan::new(&cfg);
+        for c in 0..cfg.geometry.channels {
+            assert!(plan.shard_of_channel(c) < plan.shards());
+        }
+        // Out-of-range channels (defensive) still land on a valid shard.
+        assert!(plan.shard_of_channel(1000) < plan.shards());
+    }
+
+    #[test]
+    fn node_map_aligns_with_channel_map() {
+        // fNoC terminal i is channel i's controller, so the region map
+        // and the channel map must agree on every terminal.
+        let cfg = SsdConfig::test_tiny(Architecture::DssdFnoc).with_shards(2);
+        let plan = ShardPlan::new(&cfg);
+        for c in 0..cfg.geometry.channels {
+            assert_eq!(plan.shard_of_node(c as usize), plan.shard_of_channel(c));
+        }
+    }
+
+    #[test]
+    fn central_round_robin_covers_all_shards() {
+        let cfg = SsdConfig::test_tiny(Architecture::Baseline).with_shards(3);
+        let mut plan = ShardPlan::new(&cfg);
+        let seen: Vec<usize> = (0..6).map(|_| plan.next_central()).collect();
+        assert_eq!(seen, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn lookahead_is_positive_for_every_architecture() {
+        for arch in [
+            Architecture::Baseline,
+            Architecture::Dssd,
+            Architecture::DssdBus,
+            Architecture::DssdFnoc,
+        ] {
+            let cfg = SsdConfig::test_tiny(arch).with_shards(4);
+            let plan = ShardPlan::new(&cfg);
+            assert!(!plan.lookahead().is_zero(), "{arch:?}");
+        }
+    }
+}
